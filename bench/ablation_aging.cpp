@@ -1,0 +1,102 @@
+// Ablation: the age-reset rule.
+//
+// The kernel resets a region's age only when the access count changes by
+// more than the merge threshold (10 % of the per-aggregation maximum);
+// this reproduction defaults to resetting on *any* change. The difference
+// matters for data that is periodically re-referenced: the random sampler
+// sees a sweep as a 0->1 access blip, and under the kernel rule that blip
+// is "noise" — the region keeps aging and prcl reclaims memory that is
+// about to be used again.
+//
+// This bench runs prcl on a workload with a large 2-second warm sweep
+// under both rules and reports savings vs slowdown — the quantitative
+// justification for the deviation documented in EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "damon/monitor.hpp"
+#include "damos/engine.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace daos;
+
+workload::WorkloadProfile Profile() {
+  workload::WorkloadProfile p;
+  p.name = "ablation/aging";
+  p.suite = "bench";
+  p.data_bytes = 512 * MiB;
+  p.runtime_s = 60;
+  p.noise = 0;
+  p.mem_boundness = 1.0;
+  p.groups = {workload::GroupSpec{0.20, 0.0, 1.0, 0.3},   // hot
+              workload::GroupSpec{0.40, 2.0, 1.0, 0.3},   // warm, 2 s sweep
+              workload::GroupSpec{0.40, -1.0, 1.0, 0.2}};  // cold
+  return p;
+}
+
+struct Row {
+  double runtime_s;
+  double avg_rss_mib;
+  std::uint64_t major_faults;
+};
+
+Row Run(std::uint32_t age_reset_threshold, bool with_scheme) {
+  const workload::WorkloadProfile p = Profile();
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(p),
+                                         workload::MakeSource(p, 6));
+  damon::MonitoringAttrs attrs;
+  attrs.age_reset_threshold = age_reset_threshold;
+  damon::DamonContext ctx(attrs);
+  damos::SchemesEngine engine;
+  if (with_scheme) {
+    ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(&proc.space()));
+    engine.Install({damos::Scheme::Prcl(5 * kUsPerSec)});
+    engine.Attach(ctx);
+    system.RegisterDaemon(
+        [&ctx](SimTimeUs now, SimTimeUs q) { return ctx.Step(now, q); });
+  }
+  const auto metrics = system.Run(600 * kUsPerSec);
+  const auto& pm = metrics.processes.front();
+  return Row{pm.runtime_s, pm.avg_rss_bytes / static_cast<double>(MiB),
+             pm.major_faults};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: aging rule",
+                     "age reset on any change (ours) vs merge threshold "
+                     "(kernel) under prcl(5s)");
+  std::printf("workload: 20%% hot / 40%% warm (2 s sweep) / 40%% cold, "
+              "512 MiB\n\n");
+  const Row base = Run(0, /*with_scheme=*/false);
+  std::printf("%-34s %12s %14s %14s\n", "configuration", "runtime [s]",
+              "avg RSS [MiB]", "major faults");
+  std::printf("%-34s %12.2f %14.1f %14llu\n", "baseline (no scheme)",
+              base.runtime_s, base.avg_rss_mib,
+              static_cast<unsigned long long>(base.major_faults));
+  const Row ours = Run(0, true);
+  std::printf("%-34s %12.2f %14.1f %14llu\n",
+              "prcl, age resets on any change", ours.runtime_s,
+              ours.avg_rss_mib,
+              static_cast<unsigned long long>(ours.major_faults));
+  const Row kernel = Run(2, true);
+  std::printf("%-34s %12.2f %14.1f %14llu\n",
+              "prcl, kernel threshold (diff>2)", kernel.runtime_s,
+              kernel.avg_rss_mib,
+              static_cast<unsigned long long>(kernel.major_faults));
+  std::printf(
+      "\nExpected shape: under the kernel rule the warm sweep keeps aging "
+      "through its 0->1 blips, gets reclaimed, and refaults every pass — "
+      "more savings but many more major faults and a longer runtime. The "
+      "any-change rule protects re-referenced memory, matching the "
+      "paper's measured prcl trade-off.\n");
+  return 0;
+}

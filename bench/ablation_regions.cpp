@@ -1,0 +1,150 @@
+// Ablation: the adaptive regions adjustment (paper §3.1) and the region
+// cap.
+//
+// Compares, on a hotspot workload:
+//   * DAOS with varying max_nr_regions (overhead ceiling vs accuracy),
+//   * static space-sampling (adaptive adjustment off — the §2.2 baseline),
+//   * full page-granularity scanning (the prior-work approach whose
+//     "unbounded monitoring overhead" blocked upstreaming [18]).
+//
+// Accuracy metric: working-set-size estimate vs ground truth (the hot
+// set); overhead metric: monitor CPU time.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "damon/monitor.hpp"
+#include "damon/recorder.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace daos;
+
+workload::WorkloadProfile HotspotProfile() {
+  workload::WorkloadProfile p;
+  p.name = "ablation/hotspot";
+  p.suite = "bench";
+  p.data_bytes = bench::FullMode() ? 4 * GiB : 1 * GiB;
+  p.runtime_s = 30;
+  p.noise = 0;
+  p.groups = {workload::GroupSpec{0.10, 0.0, 1.0, 0.3},   // 10 % hot
+              workload::GroupSpec{0.90, -1.0, 1.0, 0.2}};  // 90 % idle
+  return p;
+}
+
+struct Row {
+  std::string label;
+  double wss_error_pct;   // |estimate - true| / true
+  double cpu_pct;         // monitor CPU, % of one core
+  std::uint32_t regions;
+};
+
+Row RunDaos(std::uint32_t max_regions, bool adaptive) {
+  const workload::WorkloadProfile p = HotspotProfile();
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(p),
+                                         workload::MakeSource(p, 3));
+  damon::MonitoringAttrs attrs;
+  attrs.max_nr_regions = max_regions;
+  attrs.min_nr_regions = std::min<std::uint32_t>(10, max_regions);
+  attrs.adaptive = adaptive;
+  if (!adaptive) {
+    // Static space sampling gets the full region budget as a fixed grid.
+    attrs.min_nr_regions = max_regions;
+  }
+  damon::DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(&proc.space()));
+  damon::Recorder recorder;
+  recorder.Attach(ctx);
+  system.RegisterDaemon(
+      [&ctx](SimTimeUs now, SimTimeUs q) { return ctx.Step(now, q); });
+
+  system.Run(30 * kUsPerSec);
+
+  const double true_wss = static_cast<double>(p.HotBytes());
+  const double est = static_cast<double>(recorder.LatestWorkingSetBytes());
+  Row row;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s max_regions=%u",
+                adaptive ? "adaptive" : "static  ", max_regions);
+  row.label = buf;
+  row.wss_error_pct = 100.0 * std::abs(est - true_wss) / true_wss;
+  row.cpu_pct = 100.0 * ctx.CpuFraction(system.Now());
+  row.regions = ctx.TotalRegions();
+  return row;
+}
+
+Row RunFullScan() {
+  // Page-granularity scanning: check every mapped page once per second
+  // (prior work scanned even less often to contain the overhead). Perfect
+  // accuracy, overhead proportional to memory size.
+  const workload::WorkloadProfile p = HotspotProfile();
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(p),
+                                         workload::MakeSource(p, 3));
+  const double check_cost =
+      system.machine().costs().monitor_check_us;  // same per-page cost
+  double cpu_us = 0.0;
+  SimTimeUs next = 0;
+  std::uint64_t young_pages = 0;
+  system.RegisterDaemon([&](SimTimeUs now, SimTimeUs) -> double {
+    if (now < next) return 0.0;
+    next = now + kUsPerSec;
+    young_pages = 0;
+    for (sim::Vma& vma : proc.space().vmas()) {
+      for (std::size_t i = 0; i < vma.page_count(); ++i) {
+        const Addr a = vma.AddrOfIndex(i);
+        if (proc.space().IsYoung(a)) ++young_pages;
+        proc.space().MkOld(a, now);
+        cpu_us += check_cost;
+      }
+    }
+    return 0.0;
+  });
+  system.Run(30 * kUsPerSec);
+
+  const double true_wss = static_cast<double>(p.HotBytes());
+  const double est = static_cast<double>(young_pages) * kPageSize;
+  Row row;
+  row.label = "full page scan (prior work)";
+  row.wss_error_pct = 100.0 * std::abs(est - true_wss) / true_wss;
+  row.cpu_pct = 100.0 * cpu_us / static_cast<double>(system.Now());
+  row.regions = 0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: regions",
+                     "adaptive adjustment & region cap vs accuracy/overhead");
+  std::printf("workload: 10%% hot / 90%% idle, %s mapped\n\n",
+              FormatSize(HotspotProfile().data_bytes).c_str());
+  std::printf("%-36s %14s %12s %10s\n", "configuration", "WSS error [%]",
+              "CPU [%core]", "regions");
+  for (std::uint32_t cap : {20u, 100u, 1000u}) {
+    const Row r = RunDaos(cap, /*adaptive=*/true);
+    std::printf("%-36s %14.1f %12.3f %10u\n", r.label.c_str(),
+                r.wss_error_pct, r.cpu_pct, r.regions);
+  }
+  for (std::uint32_t cap : {100u, 1000u}) {
+    const Row r = RunDaos(cap, /*adaptive=*/false);
+    std::printf("%-36s %14.1f %12.3f %10u\n", r.label.c_str(),
+                r.wss_error_pct, r.cpu_pct, r.regions);
+  }
+  const Row scan = RunFullScan();
+  std::printf("%-36s %14.1f %12.3f %10s\n", scan.label.c_str(),
+              scan.wss_error_pct, scan.cpu_pct, "per-page");
+  std::printf(
+      "\nExpected shape: adaptive DAOS reaches near-scan accuracy at a "
+      "fraction of the CPU cost; static space sampling needs far more "
+      "regions for the same accuracy; the full scan's cost grows with "
+      "memory size (the §2.2 'unbounded overhead').\n");
+  return 0;
+}

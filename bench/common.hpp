@@ -1,0 +1,62 @@
+// Shared plumbing for the figure/table benches.
+//
+// Every bench regenerates one table or figure of the paper. By default the
+// parameter grids are thinned and huge address spaces are capped so the
+// whole bench suite completes in minutes; set DAOS_BENCH_FULL=1 for the
+// paper-density sweeps (same code paths, only denser grids / full sizes).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "workload/profile.hpp"
+
+namespace daos::bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("DAOS_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Caps a profile's data size for quick mode (shape-preserving: groups are
+/// fractions of the total, so only simulation cost changes).
+inline workload::WorkloadProfile CapSize(const workload::WorkloadProfile& p,
+                                         std::uint64_t cap = std::uint64_t{3} *
+                                                             GiB / 2) {
+  if (FullMode() || p.data_bytes <= cap) return p;
+  workload::WorkloadProfile out = p;
+  out.data_bytes = cap;
+  return out;
+}
+
+inline analysis::ExperimentOptions DefaultOptions(std::uint64_t seed = 1) {
+  analysis::ExperimentOptions opt;
+  opt.seed = seed;
+  opt.max_time = 1200 * kUsPerSec;
+  return opt;
+}
+
+inline void PrintHeader(const char* id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("mode: %s  (set DAOS_BENCH_FULL=1 for paper-density sweeps)\n",
+              FullMode() ? "FULL" : "quick");
+  std::printf("==============================================================\n");
+}
+
+/// The Table 2 hosts.
+inline std::vector<sim::MachineSpec> Hosts() {
+  return sim::MachineSpec::AllBareMetal();
+}
+
+/// Workload subset for quick mode.
+inline std::vector<std::string> BenchWorkloads(std::size_t quick_count) {
+  std::vector<std::string> names = workload::Figure4Names();
+  if (!FullMode() && names.size() > quick_count) names.resize(quick_count);
+  return names;
+}
+
+}  // namespace daos::bench

@@ -1,0 +1,74 @@
+// Figure 3: the theoretical performance / memory-efficiency / score curves
+// for varying PAGEOUT aggressiveness, and the six score patterns.
+//
+// Prints the analytic model's three curves (left/middle/right panels) and
+// then six parameterizations — one per expected pattern — each classified
+// by the same classifier the fig4 bench applies to measured data.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/patterns.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace daos;
+  using analysis::AggressivenessModel;
+  bench::PrintHeader("Figure 3",
+                     "patterns for performance, memory efficiency and score");
+
+  const AggressivenessModel base;
+  std::printf("%-16s %12s %12s %12s\n", "aggressiveness", "performance",
+              "mem-efficiency", "score");
+  for (double x = 0.0; x <= 1.0001; x += 0.1) {
+    std::printf("%-16.1f %12.3f %12.3f %12.2f\n", x, base.Performance(x),
+                base.MemoryEfficiency(x), base.Score(x));
+  }
+
+  struct Case {
+    const char* label;
+    AggressivenessModel model;
+  };
+  // Parameterizations chosen so memory-vs-performance dominance flips in
+  // the six ways §3.3 describes. Fields: {knee1, knee2, perf_drop,
+  // mem_gain, mem_pre, mem_steep, mem_post}.
+  std::vector<Case> cases;
+  cases.push_back({"1 efficiency dominates",
+                   AggressivenessModel{0.35, 0.75, 0.06, 0.80}});
+  cases.push_back({"2 peak, still better",
+                   AggressivenessModel{0.50, 0.85, 0.20, 0.70,
+                                       0.80, 0.15, 0.05}});
+  cases.push_back({"3 peak, ends worse",
+                   AggressivenessModel{0.40, 0.75, 0.45, 0.50,
+                                       0.80, 0.15, 0.05}});
+  cases.push_back({"4 performance dominates",
+                   AggressivenessModel{0.05, 0.45, 0.85, 0.10}});
+  // Complementary shapes: the performance cost arrives early and the
+  // savings only once reclamation digs deep — the score dips, then
+  // recovers.
+  cases.push_back({"5 valley, ends worse",
+                   AggressivenessModel{0.08, 0.30, 0.35, 0.40,
+                                       0.05, 0.15, 0.80}});
+  cases.push_back({"6 valley, ends better",
+                   AggressivenessModel{0.08, 0.30, 0.28, 1.40,
+                                       0.05, 0.10, 0.85}});
+
+  std::printf("\n%-26s %-26s %s\n", "case", "classified pattern",
+              "scores over aggressiveness 0..1");
+  for (const Case& c : cases) {
+    std::vector<double> scores;
+    std::string series;
+    for (double x = 0.0; x <= 1.0001; x += 0.1) {
+      const double s = c.model.Score(x);
+      scores.push_back(s);
+      char buf[16];
+      std::snprintf(buf, sizeof buf, " %6.1f", s);
+      series += buf;
+    }
+    std::printf("%-26s %-26s%s\n", c.label,
+                std::string(analysis::ScorePatternName(
+                                analysis::ClassifyScores(scores)))
+                    .c_str(),
+                series.c_str());
+  }
+  return 0;
+}

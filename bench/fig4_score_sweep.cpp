@@ -1,0 +1,111 @@
+// Figure 4: scores of the proactive reclamation scheme for varying
+// aggressiveness (min_age 0..60 s) on the Figure-4 workloads and the three
+// Table-2 machines.
+//
+// Prints, per workload, one row per min_age with score.i / score.m /
+// score.z (mean and, with repeats, stddev), then the classified score
+// pattern per machine — the empirical validation of the six Figure 3
+// patterns (paper Conclusion-1).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/patterns.hpp"
+#include "analysis/report.hpp"
+#include "autotune/score.hpp"
+#include "bench/common.hpp"
+#include "util/units.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace daos;
+
+std::vector<SimTimeUs> MinAges() {
+  std::vector<SimTimeUs> ages;
+  if (bench::FullMode()) {
+    for (int s = 0; s <= 60; ++s) ages.push_back(s * kUsPerSec);
+  } else {
+    for (int s : {0, 5, 10, 20, 30, 45, 60}) ages.push_back(s * kUsPerSec);
+  }
+  return ages;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 4",
+                     "prcl score vs min_age across workloads and machines");
+  const auto hosts = bench::Hosts();
+  const auto ages = MinAges();
+  const int repeats = bench::FullMode() ? 3 : 1;
+  const auto names = bench::BenchWorkloads(8);
+  std::printf("workloads: %zu, machines: %zu, min_age points: %zu, "
+              "repeats: %d\n\n",
+              names.size(), hosts.size(), ages.size(), repeats);
+
+  for (const std::string& name : names) {
+    const workload::WorkloadProfile profile =
+        bench::CapSize(*workload::FindProfile(name));
+    std::printf("--- %s (runtime %.0fs, %s mapped)\n", name.c_str(),
+                profile.runtime_s,
+                FormatSize(profile.data_bytes).c_str());
+    std::printf("%8s", "min_age");
+    for (const auto& host : hosts)
+      std::printf("  score.%c  sd.%c", host.name[0], host.name[0]);
+    std::printf("\n");
+
+    // scores[host][age_index] = mean score over repeats.
+    std::map<std::string, std::vector<double>> mean_scores;
+    for (const auto& host : hosts) {
+      analysis::ExperimentOptions opt = bench::DefaultOptions();
+      opt.host = host;
+
+      std::vector<std::vector<double>> per_age(ages.size());
+      for (int rep = 0; rep < repeats; ++rep) {
+        opt.seed = 100 * rep + 1;
+        const auto base = analysis::RunWorkload(
+            profile, analysis::Config::kBaseline, opt);
+        for (std::size_t i = 0; i < ages.size(); ++i) {
+          const auto schemes = analysis::PrclSchemes(ages[i]);
+          const auto run = analysis::RunWorkload(
+              profile, analysis::Config::kSchemes, opt, &schemes);
+          per_age[i].push_back(autotune::RawScore(
+              {run.runtime_s, run.avg_rss_bytes},
+              {base.runtime_s, base.avg_rss_bytes}));
+        }
+      }
+      auto& means = mean_scores[host.name];
+      for (auto& samples : per_age) means.push_back(Mean(samples));
+      // Stash stddevs in-place for printing below.
+      for (std::size_t i = 0; i < ages.size(); ++i)
+        per_age[i].push_back(Stdev(per_age[i]));
+      mean_scores[host.name + "/sd"] = {};
+      for (auto& samples : per_age)
+        mean_scores[host.name + "/sd"].push_back(samples.back());
+    }
+
+    for (std::size_t i = 0; i < ages.size(); ++i) {
+      std::printf("%7llus", static_cast<unsigned long long>(
+                                ages[i] / kUsPerSec));
+      for (const auto& host : hosts) {
+        std::printf("  %7.2f  %4.2f", mean_scores[host.name][i],
+                    mean_scores[host.name + "/sd"][i]);
+      }
+      std::printf("\n");
+    }
+    // Classified pattern: scores ordered by increasing aggressiveness,
+    // i.e. decreasing min_age ("aggressiveness increases right to left").
+    std::printf("pattern:");
+    for (const auto& host : hosts) {
+      std::vector<double> by_aggr(mean_scores[host.name].rbegin(),
+                                  mean_scores[host.name].rend());
+      std::printf("  %s=%s", host.name.c_str(),
+                  std::string(analysis::ScorePatternName(
+                                  analysis::ClassifyScores(by_aggr, 2.0)))
+                      .c_str());
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

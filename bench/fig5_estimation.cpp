@@ -1,0 +1,79 @@
+// Figure 5: the trend estimation for parsec3/raytrace — a dense measured
+// score curve, the tuner's 10 samples (60 % global + 40 % local), and the
+// fitted polynomial curve whose highest peak picks the tuned min_age.
+#include <cstdio>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace daos;
+  bench::PrintHeader("Figure 5", "trend estimation for parsec3/raytrace");
+
+  const workload::WorkloadProfile profile =
+      bench::CapSize(*workload::FindProfile("parsec3/raytrace"));
+  analysis::ExperimentOptions opt = bench::DefaultOptions();
+  opt.apply_runtime_noise = true;  // the figure's point is fitting noise
+
+  auto trial = [&](const damos::Scheme* scheme)
+      -> autotune::TrialMeasurement {
+    if (scheme == nullptr) {
+      const auto r =
+          analysis::RunWorkload(profile, analysis::Config::kBaseline, opt);
+      return {r.runtime_s, r.avg_rss_bytes};
+    }
+    const std::vector<damos::Scheme> schemes{*scheme};
+    const auto r = analysis::RunWorkload(profile, analysis::Config::kSchemes,
+                                         opt, &schemes);
+    return {r.runtime_s, r.avg_rss_bytes};
+  };
+
+  // Measured line: second-granularity in full mode, 5 s steps otherwise.
+  const int step = bench::FullMode() ? 1 : 5;
+  const auto baseline = trial(nullptr);
+  std::printf("%-10s %10s\n", "min_age", "measured");
+  std::vector<double> xs, ys;
+  autotune::DefaultScoreFunction measured_score;
+  for (int s = 0; s <= 60; s += step) {
+    opt.seed = 1000 + s;  // fresh noise per measurement point
+    damos::Scheme scheme = damos::Scheme::Prcl(s * kUsPerSec);
+    const auto m = trial(&scheme);
+    const double score = measured_score.Score(m, baseline);
+    std::printf("%9ds %10.2f\n", s, score);
+    xs.push_back(s);
+    ys.push_back(score);
+  }
+
+  // The tuner with the paper's 10-sample budget.
+  autotune::TunerConfig cfg;
+  cfg.nr_samples = 10;
+  cfg.min_age_lo = 0;
+  cfg.min_age_hi = 60 * kUsPerSec;
+  cfg.seed = 77;
+  opt.seed = 42;
+  autotune::AutoTuner tuner(cfg);
+  const autotune::TunerResult result =
+      tuner.Tune(damos::Scheme::Prcl(), trial);
+
+  std::printf("\nsamples (60%% global exploration, 40%% local refinement):\n");
+  for (const autotune::TunerSample& s : result.samples) {
+    std::printf("  min_age=%5.1fs score=%7.2f  [%s]\n",
+                static_cast<double>(s.min_age) / kUsPerSec, s.score,
+                s.exploration ? "60% global" : "40% local");
+  }
+
+  std::printf("\nestimated curve (degree %zu polynomial):\n",
+              result.estimate.Degree());
+  std::printf("%-10s %10s\n", "min_age", "estimated");
+  for (int s = 0; s <= 60; s += step) {
+    std::printf("%9ds %10.2f\n", s,
+                result.estimate.Valid()
+                    ? result.estimate.Evaluate(static_cast<double>(s))
+                    : 0.0);
+  }
+  std::printf("\ntuned min_age = %.1f s (predicted score %.2f)\n",
+              static_cast<double>(result.best_min_age) / kUsPerSec,
+              result.predicted_score);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6: data access patterns of the workloads in heatmap format.
+//
+// Runs the `rec` configuration (virtual-address monitoring, paper §4
+// intervals) on each workload, finds the biggest active subspace (the
+// paper plots those to avoid the blank inter-area gaps), and renders an
+// ASCII heatmap: rows = time, columns = address, darkness = access
+// frequency.
+#include <cstdio>
+
+#include "analysis/heatmap.hpp"
+#include "bench/common.hpp"
+#include "damon/recorder.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace daos;
+  bench::PrintHeader("Figure 6", "access-pattern heatmaps (rec)");
+
+  const auto names = bench::BenchWorkloads(bench::FullMode() ? 16 : 6);
+  for (const std::string& name : names) {
+    const workload::WorkloadProfile profile =
+        bench::CapSize(*workload::FindProfile(name));
+    analysis::ExperimentOptions opt = bench::DefaultOptions();
+    opt.apply_runtime_noise = false;
+
+    damon::Recorder recorder;
+    const auto run = analysis::RunWorkload(profile, analysis::Config::kRec,
+                                           opt, nullptr, &recorder);
+
+    const analysis::AddrSpan span =
+        analysis::FindActiveSubspace(recorder.snapshots(), 0);
+    const analysis::Heatmap map =
+        analysis::BuildHeatmap(recorder.snapshots(), 0, /*time_bins=*/24,
+                               /*addr_bins=*/72, span);
+
+    std::printf("--- %s  runtime %.1fs  subspace [%s..%s] (%s)\n",
+                name.c_str(), run.runtime_s,
+                FormatSize(span.lo).c_str(), FormatSize(span.hi).c_str(),
+                FormatSize(span.hi - span.lo).c_str());
+    std::printf("%s", analysis::RenderAscii(map).c_str());
+    std::printf("(rows: %.1fs each; cols: %s each; shades ' .:-=+*#%%@')\n\n",
+                run.runtime_s / 24.0,
+                FormatSize((span.hi - span.lo) / 72).c_str());
+  }
+  return 0;
+}

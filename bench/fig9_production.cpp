@@ -1,0 +1,93 @@
+// Figure 9: DAOS on the serverless production system — normalized RSS
+// after a hand-crafted "page out everything untouched for 30 s" scheme,
+// for the three backends: no swap, file swap, zram.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "damon/monitor.hpp"
+#include "damos/engine.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+#include "workload/serverless.hpp"
+
+namespace {
+
+using namespace daos;
+
+double RunFleet(const sim::SwapConfig& swap, bool enable_scheme) {
+  workload::ServerlessConfig config;
+  config.nr_processes = bench::FullMode() ? 8 : 4;
+  config.rss_per_process = bench::FullMode() ? 2 * GiB : 512 * MiB;
+  config.working_set_frac = 0.10;  // the paper's ~90 % RSS-vs-WSS gap
+  config.zram_ratio = 3.0;
+
+  sim::System system(sim::MachineSpec{"prod-baremetal", 64, 3.0, 64 * GiB},
+                     swap, sim::ThpMode::kNever, 5 * kUsPerMs);
+  std::vector<sim::Process*> servers;
+  for (int i = 0; i < config.nr_processes; ++i) {
+    servers.push_back(&system.AddProcess(
+        workload::ServerParams(config, i),
+        std::make_unique<workload::ServerSource>(config, 400 + i)));
+  }
+
+  damon::DamonContext ctx(damon::MonitoringAttrs::PaperDefaults());
+  damos::SchemesEngine engine;
+  if (enable_scheme) {
+    for (sim::Process* server : servers) {
+      ctx.AddTarget(
+          std::make_unique<damon::VaddrPrimitives>(&server->space()));
+    }
+    // §4.4: "page-out all the pages that are not touched for 30 seconds"
+    // (scaled with the quick-mode fleet: 6 s keeps several reclaim rounds
+    // inside the run).
+    const SimTimeUs min_age =
+        bench::FullMode() ? 30 * kUsPerSec : 6 * kUsPerSec;
+    engine.Install({damos::Scheme::Prcl(min_age)});
+    engine.Attach(ctx);
+    system.RegisterDaemon(
+        [&ctx](SimTimeUs now, SimTimeUs q) { return ctx.Step(now, q); });
+  }
+
+  const SimTimeUs runtime =
+      bench::FullMode() ? 180 * kUsPerSec : 40 * kUsPerSec;
+  system.Run(runtime);
+
+  double total_rss = 0.0;
+  for (sim::Process* server : servers)
+    total_rss += static_cast<double>(server->ReadRssBytes());
+  const double total_orig = static_cast<double>(config.nr_processes) *
+                            static_cast<double>(config.rss_per_process);
+  std::printf("  monitor CPU: %.2f%% of one core\n",
+              enable_scheme ? 100.0 * ctx.CpuFraction(system.Now()) : 0.0);
+  return total_rss / total_orig;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 9",
+                     "serverless production system: normalized RSS per "
+                     "swap backend");
+
+  std::printf("No Swap:\n");
+  const double none = RunFleet(sim::SwapConfig::None(), true);
+  std::printf("File Swap:\n");
+  const double file = RunFleet(sim::SwapConfig::File(256 * GiB), true);
+  std::printf("ZRAM:\n");
+  // The 4 GiB zram of the baseline config limits how deep the trim can go.
+  const double zram = RunFleet(
+      sim::SwapConfig::Zram(bench::FullMode() ? 4 * GiB : 512 * MiB), true);
+
+  std::printf("\n%-12s %16s %18s\n", "backend", "normalized RSS",
+              "memory trimmed");
+  std::printf("%-12s %16.3f %17.1f%%\n", "No Swap", none,
+              100.0 * (1.0 - none));
+  std::printf("%-12s %16.3f %17.1f%%\n", "File Swap", file,
+              100.0 * (1.0 - file));
+  std::printf("%-12s %16.3f %17.1f%%\n", "ZRAM", zram,
+              100.0 * (1.0 - zram));
+  std::printf("\n(paper: no-swap ~1.0, zram trims ~80%%, file swap ~90%%, "
+              "at <=2%% CPU overhead)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark): host-side cost of the hot paths —
+// access checks, regions adjustment, scheme matching, and the scheme text
+// parser. These measure the *simulator's* real CPU cost, complementing the
+// simulated-overhead accounting in the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "damon/monitor.hpp"
+#include "damos/engine.hpp"
+#include "damos/parser.hpp"
+#include "sim/address_space.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace daos;
+
+struct Fixture {
+  Fixture()
+      : machine(sim::MachineSpec::I3Metal().GuestOf(),
+                sim::SwapConfig::Zram()),
+        space(1, &machine, 3.0) {
+    space.Map(0x10000000, 512 * MiB, "heap");
+    space.TouchRange(0x10000000, 0x10000000 + 512 * MiB, false, 0);
+  }
+  sim::Machine machine;
+  sim::AddressSpace space;
+};
+
+void BM_TouchPage(benchmark::State& state) {
+  Fixture f;
+  Rng rng(1);
+  SimTimeUs now = 0;
+  for (auto _ : state) {
+    const Addr a = 0x10000000 + rng.NextBounded(512 * MiB / kPageSize) *
+                                    kPageSize;
+    benchmark::DoNotOptimize(f.space.TouchPage(a, false, now));
+    now += 1;
+  }
+}
+BENCHMARK(BM_TouchPage);
+
+void BM_TouchRangeResident(benchmark::State& state) {
+  Fixture f;
+  SimTimeUs now = 0;
+  const std::uint64_t bytes = state.range(0) * MiB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.space.TouchRange(0x10000000, 0x10000000 + bytes, false, now));
+    now += 5000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TouchRangeResident)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_MonitorSamplingPass(benchmark::State& state) {
+  Fixture f;
+  damon::MonitoringAttrs attrs;
+  attrs.max_nr_regions = static_cast<std::uint32_t>(state.range(0));
+  damon::DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(&f.space));
+  SimTimeUs now = 0;
+  // Warm up: let regions converge.
+  for (int i = 0; i < 200; ++i) {
+    ctx.Step(now, attrs.sampling_interval);
+    now += attrs.sampling_interval;
+  }
+  for (auto _ : state) {
+    ctx.Step(now, attrs.sampling_interval);
+    now += attrs.sampling_interval;
+  }
+  state.counters["regions"] = ctx.TotalRegions();
+}
+BENCHMARK(BM_MonitorSamplingPass)->Arg(100)->Arg(1000);
+
+void BM_SchemeMatch(benchmark::State& state) {
+  const damos::Scheme scheme = damos::Scheme::Prcl(5 * kUsPerSec);
+  const damon::MonitoringAttrs attrs;
+  damon::Region region{0x1000, 0x1000 + 8 * MiB, 0, 0, 120, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.Matches(region, attrs));
+  }
+}
+BENCHMARK(BM_SchemeMatch);
+
+void BM_ParseSchemes(benchmark::State& state) {
+  const std::string text =
+      "min max min min 2m max pageout\n"
+      "2MB max 80% max 1m max hugepage\n"
+      "min max min 5% 1m max nohugepage\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(damos::ParseSchemes(text));
+  }
+}
+BENCHMARK(BM_ParseSchemes);
+
+void BM_EnginePass(benchmark::State& state) {
+  Fixture f;
+  damon::DamonContext ctx(damon::MonitoringAttrs::PaperDefaults());
+  ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(&f.space));
+  ctx.InitRegionsFor(ctx.targets()[0]);
+  damos::SchemesEngine engine({damos::Scheme::WssStat()});
+  SimTimeUs now = 0;
+  for (auto _ : state) {
+    engine.Apply(ctx, now);
+    now += 100 * kUsPerMs;
+  }
+}
+BENCHMARK(BM_EnginePass);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Table 1: the actions supported by the DAOS Scheme Engine.
+//
+// For each action, installs a one-line scheme targeting a synthetic
+// workload's idle memory and reports what the action did — demonstrating
+// WILLNEED, COLD, PAGEOUT, HUGEPAGE, NOHUGEPAGE and STAT end to end.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "damon/monitor.hpp"
+#include "damos/engine.hpp"
+#include "damos/parser.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace daos;
+
+struct ActionRow {
+  const char* scheme_line;
+  const char* description;
+};
+
+void RunAction(const ActionRow& row) {
+  // Fresh system per action: one process with a 40 % hot / 60 % cold split.
+  workload::WorkloadProfile p;
+  p.name = "table1/synthetic";
+  p.suite = "bench";
+  p.data_bytes = 256 * MiB;
+  p.runtime_s = 30;
+  p.noise = 0;
+  p.groups = {workload::GroupSpec{0.4, 0.0, 1.0, 0.3},
+              workload::GroupSpec{0.6, -1.0, 1.0, 0.2}};
+
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(p),
+                                         workload::MakeSource(p, 7));
+
+  damon::DamonContext ctx(damon::MonitoringAttrs::PaperDefaults());
+  ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(&proc.space()));
+  damos::SchemesEngine engine;
+  std::vector<std::string> errors;
+  if (!engine.InstallFromText(row.scheme_line, &errors)) {
+    std::printf("  PARSE ERROR: %s\n", errors.front().c_str());
+    return;
+  }
+  engine.Attach(ctx);
+  system.RegisterDaemon(
+      [&ctx](SimTimeUs now, SimTimeUs q) { return ctx.Step(now, q); });
+
+  system.Run(10 * kUsPerSec);
+
+  const damos::SchemeStats& st = engine.schemes()[0].stats();
+  std::printf("  %-52s %s\n", row.scheme_line, row.description);
+  std::printf("    -> tried %llu regions (%s), applied %llu regions (%s); "
+              "RSS now %s, swapped %s, huge blocks %llu, deactivated+%s\n",
+              static_cast<unsigned long long>(st.nr_tried),
+              FormatSize(st.sz_tried).c_str(),
+              static_cast<unsigned long long>(st.nr_applied),
+              FormatSize(st.sz_applied).c_str(),
+              FormatSize(proc.space().resident_bytes()).c_str(),
+              FormatSize(proc.space().swapped_pages() * kPageSize).c_str(),
+              static_cast<unsigned long long>(proc.space().huge_blocks()),
+              "");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 1", "actions supported by the Scheme Engine");
+  const ActionRow rows[] = {
+      {"min max min min 2s max pageout",
+       "PAGEOUT: immediately page out idle regions"},
+      {"min max min min 2s max cold",
+       "COLD: mark idle regions reclaim-first"},
+      {"min max min min 1s max willneed",
+       "WILLNEED: prefetch regions expected to be used"},
+      {"min max 50% max 1s max hugepage",
+       "HUGEPAGE: THP-promote hot regions"},
+      {"2M max min min 2s max nohugepage",
+       "NOHUGEPAGE: THP-demote idle regions"},
+      {"min max 1 max min max stat",
+       "STAT: count accessed regions (working-set estimation)"},
+  };
+  for (const ActionRow& row : rows) RunAction(row);
+  std::printf("\nAll six Table 1 actions exercised.\n");
+  return 0;
+}

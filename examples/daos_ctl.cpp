@@ -1,0 +1,99 @@
+// The paper's §3.6 user-space workflow, end to end: everything goes
+// through the debugfs/procfs string interface — the way the original
+// bash/python runtime drives the kernel — never through direct API calls.
+//
+//   1. boot the guest, start a workload
+//   2. "echo <pid> > /damon/target_ids"
+//   3. "echo 'min max min min 2s max pageout' > /damon/schemes"
+//   4. "echo on > /damon/monitor_on"
+//   5. poll "/proc/<pid>/status" for VmRSS while the system runs
+//   6. read the scheme stats back and save a monitoring record file
+//
+// Build & run:  ./build/examples/daos_ctl
+#include <cstdio>
+
+#include "analysis/heatmap.hpp"
+#include "damon/recorder.hpp"
+#include "damon/trace.hpp"
+#include "dbgfs/damon_dbgfs.hpp"
+#include "dbgfs/procfs.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+// Mimics `echo <content> > <path>` incl. failing loudly like the shell.
+void Echo(daos::dbgfs::PseudoFs& fs, const std::string& content,
+          const std::string& path) {
+  std::string error;
+  if (fs.Write(path, content, &error)) {
+    std::printf("$ echo '%s' > %s\n", content.c_str(), path.c_str());
+  } else {
+    std::printf("$ echo '%s' > %s   # write error: %s\n", content.c_str(),
+                path.c_str(), error.c_str());
+  }
+}
+
+void Cat(daos::dbgfs::PseudoFs& fs, const std::string& path) {
+  std::printf("$ cat %s\n%s", path.c_str(),
+              fs.Read(path).value_or("<unreadable>\n").c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace daos;
+
+  const workload::WorkloadProfile* profile =
+      workload::FindProfile("parsec3/freqmine");
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(*profile),
+                                         workload::MakeSource(*profile, 11));
+
+  dbgfs::PseudoFs fs;
+  dbgfs::DamonDbgfs damon_fs(&system, &fs);
+  dbgfs::ProcFs procfs(&system, &fs);
+  damon::Recorder recorder;
+  recorder.Attach(damon_fs.context(), /*every=*/kUsPerSec);
+
+  std::printf("workload %s started as pid %d\n\n", profile->name.c_str(),
+              proc.pid());
+
+  Cat(fs, "/damon/attrs");
+  Echo(fs, std::to_string(proc.pid()), "/damon/target_ids");
+  Echo(fs, "min max min min 2s max pageout", "/damon/schemes");
+  Echo(fs, "on", "/damon/monitor_on");
+
+  std::printf("\npolling /proc/%d/status while the workload runs:\n",
+              proc.pid());
+  for (int tick = 0; tick < 8 && !proc.finished(); ++tick) {
+    system.Run(5 * kUsPerSec);
+    std::printf("  t=%3llus  VmRSS %s\n",
+                static_cast<unsigned long long>(system.Now() / kUsPerSec),
+                FormatSize(procfs.ReadRssBytes(proc.pid())).c_str());
+  }
+  system.Run(600 * kUsPerSec);  // let it finish
+
+  std::printf("\n");
+  Cat(fs, "/damon/schemes");
+  Echo(fs, "off", "/damon/monitor_on");
+
+  // Save the monitoring record and render its heatmap, Figure-6 style.
+  const std::string rec_path = "/tmp/daos_ctl.rec";
+  if (damon::WriteTraceFile(rec_path, recorder.snapshots())) {
+    std::printf("\nmonitoring record written to %s (%zu snapshots)\n",
+                rec_path.c_str(), recorder.snapshots().size());
+  }
+  const auto reloaded = damon::ReadTraceFile(rec_path);
+  if (reloaded) {
+    const analysis::Heatmap map =
+        analysis::BuildHeatmap(*reloaded, 0, 10, 64);
+    std::printf("access heatmap (from the reloaded record):\n%s",
+                analysis::RenderAscii(map).c_str());
+  }
+  return 0;
+}

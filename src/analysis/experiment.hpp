@@ -1,0 +1,76 @@
+// Experiment runner: builds the paper's evaluation setups (§4) and runs one
+// workload under one system configuration. Shared by the integration tests,
+// the examples, and every figure bench.
+//
+// Configurations (paper §4, "Workloads"):
+//   baseline — DAOS off, THP off, 4 GiB zram swap
+//   rec      — baseline + virtual-address monitoring of the workload
+//   prec     — baseline + physical-address monitoring of the guest
+//   thp      — baseline but THP `always`
+//   ethp     — baseline + the Listing 3 ethp schemes (hugepage/nohugepage)
+//   prcl     — baseline + the Listing 3 prcl scheme (pageout, 5 s)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "damon/attrs.hpp"
+#include "damon/recorder.hpp"
+#include "damos/scheme.hpp"
+#include "sim/machine.hpp"
+#include "workload/profile.hpp"
+
+namespace daos::analysis {
+
+enum class Config : std::uint8_t {
+  kBaseline,
+  kRec,
+  kPrec,
+  kThp,
+  kEthp,
+  kPrcl,
+  kSchemes,  // custom scheme list with vaddr monitoring
+};
+
+std::string_view ConfigName(Config config);
+
+struct ExperimentOptions {
+  sim::MachineSpec host = sim::MachineSpec::I3Metal();  // guest derived inside
+  sim::SwapConfig swap = sim::SwapConfig::Zram();
+  damon::MonitoringAttrs attrs = damon::MonitoringAttrs::PaperDefaults();
+  SimTimeUs quantum = 5 * kUsPerMs;
+  SimTimeUs max_time = 900 * kUsPerSec;
+  std::uint64_t seed = 1;
+  bool apply_runtime_noise = true;  // per-run multiplicative noise
+};
+
+struct ExperimentResult {
+  std::string workload;
+  Config config = Config::kBaseline;
+  double runtime_s = 0.0;
+  bool finished = false;
+  double avg_rss_bytes = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t major_faults = 0;
+  double monitor_cpu_fraction = 0.0;  // of one CPU
+  double interference_s = 0.0;
+  std::vector<damos::SchemeStats> scheme_stats;
+};
+
+/// Runs `profile` on `options.host`'s guest under `config`.
+/// `custom_schemes` is required for kSchemes and replaces the built-in
+/// scheme list for kEthp/kPrcl when provided. `recorder`, when non-null, is
+/// attached to the monitoring context (rec/prec/ethp/prcl/kSchemes only).
+ExperimentResult RunWorkload(
+    const workload::WorkloadProfile& profile, Config config,
+    const ExperimentOptions& options,
+    const std::vector<damos::Scheme>* custom_schemes = nullptr,
+    damon::Recorder* recorder = nullptr);
+
+/// The Listing 3 scheme sets.
+std::vector<damos::Scheme> EthpSchemes();
+std::vector<damos::Scheme> PrclSchemes(SimTimeUs min_age = 5 * kUsPerSec);
+
+}  // namespace daos::analysis

@@ -1,0 +1,131 @@
+#include "analysis/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace daos::analysis {
+
+std::string_view ScorePatternName(ScorePattern pattern) {
+  switch (pattern) {
+    case ScorePattern::kRising:
+      return "1:rising";
+    case ScorePattern::kPeakEndsPositive:
+      return "2:peak-ends-positive";
+    case ScorePattern::kPeakEndsNegative:
+      return "3:peak-ends-negative";
+    case ScorePattern::kFalling:
+      return "4:falling";
+    case ScorePattern::kValleyEndsNegative:
+      return "5:valley-ends-negative";
+    case ScorePattern::kValleyEndsPositive:
+      return "6:valley-ends-positive";
+    case ScorePattern::kFlat:
+      return "flat";
+  }
+  return "?";
+}
+
+ScorePattern ClassifyScores(std::span<const double> scores, double tolerance) {
+  if (scores.size() < 3) return ScorePattern::kFlat;
+
+  // Light smoothing to keep single-sample noise from creating fake peaks.
+  std::vector<double> s(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    double acc = scores[i];
+    double n = 1.0;
+    if (i > 0) {
+      acc += scores[i - 1];
+      n += 1.0;
+    }
+    if (i + 1 < scores.size()) {
+      acc += scores[i + 1];
+      n += 1.0;
+    }
+    s[i] = acc / n;
+  }
+
+  const auto max_it = std::max_element(s.begin(), s.end());
+  const auto min_it = std::min_element(s.begin(), s.end());
+  const double max_v = *max_it;
+  const double min_v = *min_it;
+  const double last = s.back();
+  const auto max_pos = static_cast<std::size_t>(max_it - s.begin());
+  const auto min_pos = static_cast<std::size_t>(min_it - s.begin());
+  const std::size_t n = s.size();
+
+  if (max_v - min_v < tolerance) return ScorePattern::kFlat;
+
+  const bool has_interior_peak =
+      max_pos > 0 && max_pos + 1 < n && max_v > tolerance &&
+      max_v - last > tolerance;
+  const bool has_interior_valley =
+      min_pos > 0 && min_pos + 1 < n && min_v < -tolerance &&
+      last - min_v > tolerance;
+
+  if (has_interior_peak && !has_interior_valley) {
+    return last >= 0.0 ? ScorePattern::kPeakEndsPositive
+                       : ScorePattern::kPeakEndsNegative;
+  }
+  if (has_interior_valley && !has_interior_peak) {
+    return last >= 0.0 ? ScorePattern::kValleyEndsPositive
+                       : ScorePattern::kValleyEndsNegative;
+  }
+  if (has_interior_peak && has_interior_valley) {
+    // Mixed shape: attribute by whichever extreme is more pronounced.
+    return std::fabs(max_v) >= std::fabs(min_v)
+               ? (last >= 0.0 ? ScorePattern::kPeakEndsPositive
+                              : ScorePattern::kPeakEndsNegative)
+               : (last >= 0.0 ? ScorePattern::kValleyEndsPositive
+                              : ScorePattern::kValleyEndsNegative);
+  }
+  // Monotonic-ish: rising if the curve ends near its max, falling if near
+  // its min.
+  if (last >= max_v - tolerance) return ScorePattern::kRising;
+  if (last <= min_v + tolerance) return ScorePattern::kFalling;
+  return last >= 0.0 ? ScorePattern::kRising : ScorePattern::kFalling;
+}
+
+namespace {
+
+/// Piecewise-smooth sigmoid-ish ramp: 0 at x<=a, 1 at x>=b.
+double Ramp(double x, double a, double b) {
+  if (x <= a) return 0.0;
+  if (x >= b) return 1.0;
+  const double t = (x - a) / (b - a);
+  return t * t * (3.0 - 2.0 * t);  // smoothstep
+}
+
+}  // namespace
+
+double AggressivenessModel::Performance(double aggressiveness) const {
+  const double x = std::clamp(aggressiveness, 0.0, 1.0);
+  // Slow degradation before the first knee, steep through the thrashing
+  // window, slow again after saturation (paper §3.3).
+  const double pre = 0.15 * Ramp(x, 0.0, perf_knee1);
+  const double steep = 0.70 * Ramp(x, perf_knee1, perf_knee2);
+  const double post = 0.15 * Ramp(x, perf_knee2, 1.0);
+  return 1.0 - perf_drop * (pre + steep + post);
+}
+
+double AggressivenessModel::MemoryEfficiency(double aggressiveness) const {
+  const double x = std::clamp(aggressiveness, 0.0, 1.0);
+  // By default most savings arrive before/at the thrashing window; the
+  // mem_* weights let workloads shift them later.
+  const double pre = mem_pre * Ramp(x, 0.0, perf_knee1);
+  const double steep = mem_steep * Ramp(x, perf_knee1, perf_knee2);
+  const double post = mem_post * Ramp(x, perf_knee2, 1.0);
+  return 1.0 + mem_gain * (pre + steep + post);
+}
+
+double AggressivenessModel::Score(double aggressiveness) const {
+  const double perf = Performance(aggressiveness);
+  const double eff = MemoryEfficiency(aggressiveness);
+  // pscore = -(runtime/orig - 1) = -(1/perf - 1); mscore = -(rss/orig - 1)
+  // = 1 - 1/eff.
+  const double pscore = -(1.0 / perf - 1.0);
+  const double mscore = 1.0 - 1.0 / eff;
+  return 100.0 * (0.5 * pscore + 0.5 * mscore);
+}
+
+}  // namespace daos::analysis

@@ -1,0 +1,56 @@
+// Classifier for the six score-vs-aggressiveness patterns of paper §3.3 /
+// Figure 3. The tuner's premise is that the score curve is not random but
+// falls into one of six shapes; §3.4 validates this empirically and the
+// fig3/fig4 benches use this classifier to report which shape each
+// (workload, machine) pair produced.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace daos::analysis {
+
+/// The six patterns of Figure 3 (score as a function of *increasing*
+/// aggressiveness, with score(no action) == 0):
+enum class ScorePattern {
+  kRising,             // 1: keeps increasing (memory efficiency dominates)
+  kPeakEndsPositive,   // 2: rises, falls, but stays better than no action
+  kPeakEndsNegative,   // 3: rises, falls below no action
+  kFalling,            // 4: keeps decreasing (performance dominates)
+  kValleyEndsNegative, // 5: falls, recovers, stays worse than no action
+  kValleyEndsPositive, // 6: falls, recovers above no action
+  kFlat,               // degenerate: no significant movement
+};
+
+std::string_view ScorePatternName(ScorePattern pattern);
+
+/// Classifies a score series ordered by increasing aggressiveness.
+/// `tolerance` is the score magnitude treated as noise.
+ScorePattern ClassifyScores(std::span<const double> scores,
+                            double tolerance = 1.0);
+
+/// The analytic performance/efficiency model behind Figure 3 (left/middle):
+/// performance degrades slowly, then steeply past the first inflection
+/// point (thrashing), then slowly again (saturation); memory efficiency is
+/// the mirror image. Used by the fig3 bench to draw the theoretical curves.
+struct AggressivenessModel {
+  double perf_knee1 = 0.35;   // aggressiveness where thrashing starts
+  double perf_knee2 = 0.75;   // where thrashing saturates
+  double perf_drop = 0.5;     // total performance loss at aggressiveness 1
+  double mem_gain = 0.6;      // total memory saving at aggressiveness 1
+  // How the memory gain distributes across the three phases (before the
+  // first knee, inside the thrashing window, after saturation). Workloads
+  // whose savings only arrive once reclamation digs into warmer data have
+  // a late-heavy distribution — that is what produces the "valley" score
+  // patterns 5 and 6.
+  double mem_pre = 0.55;
+  double mem_steep = 0.35;
+  double mem_post = 0.10;
+
+  double Performance(double aggressiveness) const;   // in (0, 1]
+  double MemoryEfficiency(double aggressiveness) const;  // >= 1
+  /// Equal-weight score in percentage points (positive = better).
+  double Score(double aggressiveness) const;
+};
+
+}  // namespace daos::analysis

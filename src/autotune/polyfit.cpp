@@ -1,0 +1,115 @@
+#include "autotune/polyfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daos::autotune {
+
+double Polynomial::Normalize(double x) const {
+  if (x_hi_ == x_lo_) return 0.0;
+  return 2.0 * (x - x_lo_) / (x_hi_ - x_lo_) - 1.0;
+}
+
+double Polynomial::Evaluate(double x) const {
+  const double t = Normalize(x);
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * t + coeffs_[i];
+  return acc;
+}
+
+double Polynomial::Derivative(double x) const {
+  const double t = Normalize(x);
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 1;)
+    acc = acc * t + coeffs_[i] * static_cast<double>(i);
+  // Chain rule for the normalization.
+  const double dt_dx = x_hi_ == x_lo_ ? 0.0 : 2.0 / (x_hi_ - x_lo_);
+  return acc * dt_dx;
+}
+
+Polynomial FitPolynomial(std::span<const double> xs, std::span<const double> ys,
+                         std::size_t degree) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return {};
+  degree = std::min(degree, n - 1);
+  const std::size_t m = degree + 1;
+
+  const double lo = *std::min_element(xs.begin(), xs.begin() + n);
+  const double hi = *std::max_element(xs.begin(), xs.begin() + n);
+  auto norm = [&](double x) {
+    return hi == lo ? 0.0 : 2.0 * (x - lo) / (hi - lo) - 1.0;
+  };
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V over t in [-1,1].
+  std::vector<double> ata(m * m, 0.0);
+  std::vector<double> aty(m, 0.0);
+  std::vector<double> powers(2 * m - 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = norm(xs[k]);
+    powers[0] = 1.0;
+    for (std::size_t i = 1; i < powers.size(); ++i)
+      powers[i] = powers[i - 1] * t;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) ata[i * m + j] += powers[i + j];
+      aty[i] += powers[i] * ys[k];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::fabs(ata[row * m + col]) > std::fabs(ata[pivot * m + col]))
+        pivot = row;
+    }
+    if (std::fabs(ata[pivot * m + col]) < 1e-12) return {};
+    if (pivot != col) {
+      for (std::size_t j = 0; j < m; ++j)
+        std::swap(ata[col * m + j], ata[pivot * m + j]);
+      std::swap(aty[col], aty[pivot]);
+    }
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double f = ata[row * m + col] / ata[col * m + col];
+      for (std::size_t j = col; j < m; ++j) ata[row * m + j] -= f * ata[col * m + j];
+      aty[row] -= f * aty[col];
+    }
+  }
+  std::vector<double> coeffs(m, 0.0);
+  for (std::size_t i = m; i-- > 0;) {
+    double acc = aty[i];
+    for (std::size_t j = i + 1; j < m; ++j) acc -= ata[i * m + j] * coeffs[j];
+    coeffs[i] = acc / ata[i * m + i];
+  }
+  return Polynomial(std::move(coeffs), lo, hi);
+}
+
+std::vector<Peak> FindPeaks(const Polynomial& poly, double lo, double hi,
+                            std::size_t grid) {
+  std::vector<Peak> peaks;
+  if (!poly.Valid() || grid < 2 || hi <= lo) return peaks;
+  const double step = (hi - lo) / static_cast<double>(grid);
+  double prev_grad = poly.Derivative(lo);
+  for (std::size_t i = 1; i <= grid; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double grad = poly.Derivative(x);
+    if (prev_grad > 0.0 && grad <= 0.0) {
+      // Bisect for a tighter peak position.
+      double a = x - step, b = x;
+      for (int it = 0; it < 32; ++it) {
+        const double mid = 0.5 * (a + b);
+        (poly.Derivative(mid) > 0.0 ? a : b) = mid;
+      }
+      const double px = 0.5 * (a + b);
+      peaks.push_back(Peak{px, poly.Evaluate(px)});
+    }
+    prev_grad = grad;
+  }
+  // Endpoints can be the optimum when the curve is monotonic.
+  peaks.push_back(Peak{lo, poly.Evaluate(lo)});
+  peaks.push_back(Peak{hi, poly.Evaluate(hi)});
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  return peaks;
+}
+
+}  // namespace daos::autotune

@@ -1,0 +1,55 @@
+// Least-squares polynomial curve fitting and gradient-based peak finding
+// (paper §3.5: "we use polynomial curve fitting [...] the degree is set as
+// nr_samples/3 to avoid over-fitting. On the fitted curve, the system finds
+// peaks using gradients").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace daos::autotune {
+
+/// A fitted polynomial. Inputs are internally normalized to [-1, 1] for
+/// numerical conditioning; Evaluate() takes original-domain x values.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  Polynomial(std::vector<double> coeffs, double x_lo, double x_hi)
+      : coeffs_(std::move(coeffs)), x_lo_(x_lo), x_hi_(x_hi) {}
+
+  double Evaluate(double x) const;
+  /// dP/dx at x (in the original domain).
+  double Derivative(double x) const;
+  std::size_t Degree() const {
+    return coeffs_.empty() ? 0 : coeffs_.size() - 1;
+  }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  bool Valid() const { return !coeffs_.empty(); }
+
+ private:
+  double Normalize(double x) const;
+
+  std::vector<double> coeffs_;  // coeffs_[i] multiplies t^i, t normalized
+  double x_lo_ = 0.0;
+  double x_hi_ = 1.0;
+};
+
+/// Fits ys ~ P(xs) of the given degree by normal equations with partial
+/// pivoting. Degree is clamped to xs.size()-1. Returns an invalid
+/// Polynomial for fewer than 2 points.
+Polynomial FitPolynomial(std::span<const double> xs, std::span<const double> ys,
+                         std::size_t degree);
+
+struct Peak {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Finds local maxima of `poly` on [lo, hi] by locating sign changes of
+/// the gradient on a dense grid (including the endpoints as candidates).
+/// Sorted by descending value.
+std::vector<Peak> FindPeaks(const Polynomial& poly, double lo, double hi,
+                            std::size_t grid = 512);
+
+}  // namespace daos::autotune

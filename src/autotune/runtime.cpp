@@ -1,0 +1,60 @@
+#include "autotune/runtime.hpp"
+
+namespace daos::autotune {
+
+DbgfsRuntime::DbgfsRuntime(EnvFactory factory, TunerConfig config,
+                           SimTimeUs max_trial_time,
+                           SimTimeUs rss_poll_interval)
+    : factory_(std::move(factory)),
+      config_(config),
+      max_trial_time_(max_trial_time),
+      rss_poll_interval_(rss_poll_interval) {}
+
+TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
+  ++trials_;
+  std::unique_ptr<TrialEnv> env = factory_();
+
+  if (scheme != nullptr) {
+    // The paper's workflow, verbatim: configure monitoring and the scheme
+    // by writing strings to the debugfs files, then switch monitoring on.
+    std::string error;
+    if (!env->fs.Write("/damon/target_ids",
+                       std::to_string(env->workload_pid), &error) ||
+        !env->fs.Write("/damon/schemes", scheme->ToText() + "\n", &error) ||
+        !env->fs.Write("/damon/monitor_on", "on", &error)) {
+      // A mis-specified scheme behaves like a failed trial: the workload
+      // runs unmodified (the debugfs write simply failed).
+    }
+  }
+
+  // Run to completion, polling procfs for the RSS like the runtime's
+  // scripts poll /proc/<pid>/status.
+  double rss_sum = 0.0;
+  std::uint64_t polls = 0;
+  const SimTimeUs deadline = env->system->Now() + max_trial_time_;
+  sim::Process* workload = nullptr;
+  for (auto& proc : env->system->processes()) {
+    if (proc->pid() == env->workload_pid) workload = proc.get();
+  }
+  while (env->system->Now() < deadline &&
+         (workload == nullptr || !workload->finished())) {
+    env->system->Run(rss_poll_interval_);
+    rss_sum += static_cast<double>(env->proc->ReadRssBytes(env->workload_pid));
+    ++polls;
+  }
+
+  TrialMeasurement m;
+  m.runtime_s = workload != nullptr
+                    ? workload->Metrics(env->system->Now()).runtime_s
+                    : static_cast<double>(env->system->Now()) / kUsPerSec;
+  m.rss_bytes = polls > 0 ? rss_sum / static_cast<double>(polls) : 0.0;
+  return m;
+}
+
+TunerResult DbgfsRuntime::Tune(const damos::Scheme& base) {
+  AutoTuner tuner(config_);
+  return tuner.Tune(base,
+                    [this](const damos::Scheme* s) { return RunOnce(s); });
+}
+
+}  // namespace daos::autotune

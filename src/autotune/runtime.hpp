@@ -1,0 +1,62 @@
+// The user-space Auto-tuning Runtime driver (paper Figure 1 + §3.5/§3.6).
+//
+// The AutoTuner in tuner.hpp implements the sampling/fitting logic; this
+// driver adds the paper's *deployment* shape: for every sample run it
+// launches a fresh workload, installs the candidate scheme by writing its
+// text form to the debugfs files, lets the system run, and measures
+// runtime and memory footprint through procfs — exactly what the paper's
+// bash/python runtime does, with no direct kernel-API access.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "autotune/tuner.hpp"
+#include "dbgfs/damon_dbgfs.hpp"
+#include "dbgfs/procfs.hpp"
+#include "sim/system.hpp"
+
+namespace daos::autotune {
+
+/// One freshly-booted trial environment: a system with the workload
+/// started and the pseudo-filesystems mounted.
+struct TrialEnv {
+  std::unique_ptr<sim::System> system;
+  int workload_pid = 0;
+  dbgfs::PseudoFs fs;
+  std::unique_ptr<dbgfs::DamonDbgfs> damon;
+  std::unique_ptr<dbgfs::ProcFs> proc;
+};
+
+/// Builds a fresh environment per trial ("the runtime starts the
+/// workload", §3). Must return a ready-to-run env.
+using EnvFactory = std::function<std::unique_ptr<TrialEnv>()>;
+
+class DbgfsRuntime {
+ public:
+  /// `rss_poll_interval` is how often the runtime reads procfs while the
+  /// workload runs (the measured RSS is the time-average of the polls).
+  DbgfsRuntime(EnvFactory factory, TunerConfig config,
+               SimTimeUs max_trial_time = 1200 * kUsPerSec,
+               SimTimeUs rss_poll_interval = kUsPerSec);
+
+  /// Runs one trial: boots an env, installs `scheme` (null = baseline)
+  /// through debugfs, runs to completion, returns runtime + average RSS
+  /// read through procfs.
+  TrialMeasurement RunOnce(const damos::Scheme* scheme);
+
+  /// The full §3.5 flow: tune `base`'s min_age with fresh runs per sample.
+  TunerResult Tune(const damos::Scheme& base);
+
+  /// Trials executed so far (baseline + samples + verifications).
+  int trials() const noexcept { return trials_; }
+
+ private:
+  EnvFactory factory_;
+  TunerConfig config_;
+  SimTimeUs max_trial_time_;
+  SimTimeUs rss_poll_interval_;
+  int trials_ = 0;
+};
+
+}  // namespace daos::autotune

@@ -1,0 +1,54 @@
+// Score functions: unify performance and memory efficiency into the single
+// objective the auto-tuner maximizes (paper §3.3, Listing 2).
+//
+// Scores are expressed in percentage points (so "10" means a combined 10 %
+// improvement), matching the y-axes of Figures 4 and 5.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace daos::autotune {
+
+/// One measured trial of a scheme applied to a workload.
+struct TrialMeasurement {
+  double runtime_s = 0.0;
+  double rss_bytes = 0.0;
+};
+
+/// Stateful score function interface; the default implementation is the
+/// paper's Listing 2 verbatim: equal weights, SLA of at most 10 %
+/// performance drop, SLA violations return the worst score seen so far.
+class ScoreFunction {
+ public:
+  virtual ~ScoreFunction() = default;
+  virtual double Score(const TrialMeasurement& trial,
+                       const TrialMeasurement& baseline) = 0;
+  virtual void Reset() = 0;
+};
+
+class DefaultScoreFunction final : public ScoreFunction {
+ public:
+  DefaultScoreFunction(double perf_weight = 0.5, double mem_weight = 0.5,
+                       double sla_max_perf_drop = 0.10)
+      : perf_weight_(perf_weight),
+        mem_weight_(mem_weight),
+        sla_(sla_max_perf_drop) {}
+
+  double Score(const TrialMeasurement& trial,
+               const TrialMeasurement& baseline) override;
+  void Reset() override { prev_scores_.clear(); }
+
+ private:
+  double perf_weight_;
+  double mem_weight_;
+  double sla_;
+  std::vector<double> prev_scores_;
+};
+
+/// Stateless scoring helper used by analysis code (no SLA floor state):
+/// 100 * (w_p * perf_improvement + w_m * memory_saving).
+double RawScore(const TrialMeasurement& trial, const TrialMeasurement& baseline,
+                double perf_weight = 0.5, double mem_weight = 0.5);
+
+}  // namespace daos::autotune

@@ -1,0 +1,84 @@
+// The Auto-tuning Runtime (paper §3.5).
+//
+// Given a base scheme, a workload trial runner, and a time budget, the
+// tuner:
+//   1. derives the sample budget nr_samples = time_limit / unit_work_time,
+//   2. spends 60 % of it on uniformly random aggressiveness values (global
+//      exploration) and 40 % near the best observed value (local search),
+//   3. fits a degree-(nr_samples/3) polynomial to the (aggressiveness,
+//      score) samples,
+//   4. finds the highest peak of the fitted curve via gradients and emits
+//      the scheme tuned to that aggressiveness.
+//
+// Aggressiveness here is the scheme's `min_age` threshold (as in the
+// paper's evaluation: smaller min_age == more aggressive PAGEOUT).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autotune/polyfit.hpp"
+#include "autotune/score.hpp"
+#include "damos/scheme.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace daos::autotune {
+
+/// Runs the workload once under `scheme` and reports runtime and RSS — in
+/// the paper, launching the workload and reading procfs; here, a simulated
+/// trial. Passing a disabled scheme measures the baseline.
+using TrialRunner =
+    std::function<TrialMeasurement(const damos::Scheme* scheme_or_null)>;
+
+struct TunerConfig {
+  /// Total tuning budget and per-trial time; nr_samples is their ratio.
+  SimTimeUs time_limit = 0;
+  SimTimeUs unit_work_time = 0;
+  /// Explicit sample budget; used when nonzero (the paper's evaluation
+  /// fixes it to 10).
+  std::size_t nr_samples = 10;
+  /// Search space for the min_age aggressiveness knob.
+  SimTimeUs min_age_lo = 0;
+  SimTimeUs min_age_hi = 60 * kUsPerSec;
+  /// Fraction of samples spent exploring globally (paper: 60/40).
+  double explore_frac = 0.6;
+  std::uint64_t seed = 1234;
+
+  std::size_t EffectiveSamples() const {
+    if (nr_samples > 0) return nr_samples;
+    if (unit_work_time == 0) return 0;
+    return static_cast<std::size_t>(time_limit / unit_work_time);
+  }
+};
+
+struct TunerSample {
+  SimTimeUs min_age = 0;
+  double score = 0.0;
+  bool exploration = false;  // true for the global-60% phase
+};
+
+struct TunerResult {
+  damos::Scheme tuned;             // base scheme with the winning min_age
+  SimTimeUs best_min_age = 0;
+  double predicted_score = 0.0;
+  std::vector<TunerSample> samples;
+  Polynomial estimate;             // the fitted curve (Figure 5's line)
+  TrialMeasurement baseline;
+};
+
+class AutoTuner {
+ public:
+  AutoTuner(TunerConfig config, std::unique_ptr<ScoreFunction> score = nullptr);
+
+  /// Tunes `base` (its min_age is the knob) against `runner`.
+  TunerResult Tune(const damos::Scheme& base, const TrialRunner& runner);
+
+ private:
+  TunerConfig config_;
+  std::unique_ptr<ScoreFunction> score_;
+  Rng rng_;
+};
+
+}  // namespace daos::autotune

@@ -1,0 +1,122 @@
+// Monitoring Primitives layer (paper §3.1, Figure 2).
+//
+// The access-check method depends on the monitoring target: virtual address
+// spaces use the VMA list and PTE accessed bits; the physical address space
+// uses reverse mappings (rmap). Both are provided here as the paper's two
+// reference implementations, behind an interface users can re-implement for
+// special hardware (CMT, PML, ...).
+//
+// As in the kernel implementation, the primitives also carry out the DAMOS
+// actions, since applying an action is equally target-specific.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "damon/region.hpp"
+#include "util/types.hpp"
+
+namespace daos::sim {
+class AddressSpace;
+class Machine;
+}  // namespace daos::sim
+
+namespace daos::damon {
+
+/// The memory-management actions of paper Table 1.
+enum class DamosAction : std::uint8_t {
+  kWillneed,    // expect the region to be accessed soon: prefetch swapped pages
+  kCold,        // expect no accesses soon: reclaim-first candidate
+  kPageout,     // immediately page the region out
+  kHugepage,    // THP-promote the region
+  kNohugepage,  // THP-demote the region (frees bloat sub-pages)
+  kStat,        // only count matching regions (working-set estimation, tuning)
+};
+
+std::string_view DamosActionName(DamosAction action);
+
+/// Target-specific monitoring and action operations.
+class Primitives {
+ public:
+  virtual ~Primitives() = default;
+
+  /// The address ranges worth monitoring right now (gaps excluded).
+  virtual std::vector<AddrRange> TargetRanges() = 0;
+  /// Changes whenever the target layout changed (drives regions update).
+  virtual std::uint64_t LayoutGeneration() const = 0;
+
+  /// Clears the accessed state of the page containing `a` (prepare check).
+  virtual void MkOld(Addr a, SimTimeUs now) = 0;
+  /// True if the page containing `a` was accessed since its last MkOld.
+  virtual bool IsYoung(Addr a) const = 0;
+
+  /// CPU cost of a single prepare+check pair, for overhead accounting.
+  virtual double CheckCostUs() const = 0;
+
+  /// Applies `action` to [start, end); returns bytes the action affected.
+  virtual std::uint64_t ApplyAction(DamosAction action, Addr start, Addr end,
+                                    SimTimeUs now) = 0;
+};
+
+/// Reference implementation for one process's virtual address space
+/// (struct-vma + PTE accessed bits in the paper).
+class VaddrPrimitives final : public Primitives {
+ public:
+  explicit VaddrPrimitives(sim::AddressSpace* space,
+                           double check_cost_us = 0.07)
+      : space_(space), check_cost_us_(check_cost_us) {}
+
+  std::vector<AddrRange> TargetRanges() override;
+  std::uint64_t LayoutGeneration() const override;
+  void MkOld(Addr a, SimTimeUs now) override;
+  bool IsYoung(Addr a) const override;
+  double CheckCostUs() const override { return check_cost_us_; }
+  std::uint64_t ApplyAction(DamosAction action, Addr start, Addr end,
+                            SimTimeUs now) override;
+
+  sim::AddressSpace* space() noexcept { return space_; }
+
+ private:
+  sim::AddressSpace* space_;
+  double check_cost_us_;
+};
+
+/// Reference implementation for the machine's physical address space
+/// (PTE accessed bits reached through rmap in the paper). The synthetic
+/// physical space concatenates every registered address space's mappings;
+/// the translation table is rebuilt on layout changes, which is what the
+/// regions-update interval exists for.
+class PaddrPrimitives final : public Primitives {
+ public:
+  explicit PaddrPrimitives(sim::Machine* machine, double check_cost_us = 0.09)
+      : machine_(machine), check_cost_us_(check_cost_us) {}
+
+  std::vector<AddrRange> TargetRanges() override;
+  std::uint64_t LayoutGeneration() const override;
+  void MkOld(Addr a, SimTimeUs now) override;
+  bool IsYoung(Addr a) const override;
+  double CheckCostUs() const override { return check_cost_us_; }
+  std::uint64_t ApplyAction(DamosAction action, Addr start, Addr end,
+                            SimTimeUs now) override;
+
+ private:
+  struct Extent {
+    Addr phys_start = 0;
+    Addr phys_end = 0;
+    sim::AddressSpace* space = nullptr;
+    Addr virt_start = 0;
+  };
+
+  void RebuildIfStale() const;
+  /// rmap: physical address -> (space, virtual address).
+  const Extent* Translate(Addr phys) const;
+
+  sim::Machine* machine_;
+  double check_cost_us_;
+  mutable std::vector<Extent> extents_;
+  mutable std::uint64_t built_generation_ = ~0ull;
+  mutable Addr phys_size_ = 0;
+};
+
+}  // namespace daos::damon

@@ -1,0 +1,41 @@
+#include "damon/recorder.hpp"
+
+namespace daos::damon {
+
+void Recorder::Attach(DamonContext& ctx, SimTimeUs every) {
+  every_ = every;
+  next_ = 0;
+  ctx.AddAggregationHook(
+      [this](DamonContext& c, SimTimeUs now) { Record(c, now); });
+}
+
+void Recorder::Record(DamonContext& ctx, SimTimeUs now) {
+  if (every_ != 0 && now < next_) return;
+  next_ = now + every_;
+  int target_index = 0;
+  for (const DamonTarget& target : ctx.targets()) {
+    Snapshot snap;
+    snap.at = now;
+    snap.target_index = target_index++;
+    snap.regions.reserve(target.regions.size());
+    for (const Region& r : target.regions) {
+      snap.regions.push_back(
+          SnapshotRegion{r.start, r.end, r.nr_accesses, r.age});
+    }
+    snapshots_.push_back(std::move(snap));
+  }
+}
+
+std::uint64_t Recorder::LatestWorkingSetBytes() const {
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->target_index != 0) continue;
+    std::uint64_t bytes = 0;
+    for (const SnapshotRegion& r : it->regions) {
+      if (r.nr_accesses > 0) bytes += r.end - r.start;
+    }
+    return bytes;
+  }
+  return 0;
+}
+
+}  // namespace daos::damon

@@ -1,0 +1,51 @@
+// Recorder: captures aggregated monitoring results over time.
+//
+// This is the `rec`/`prec` configuration of the paper's evaluation (§4):
+// the access pattern of each aggregation interval is stored as a list of
+// (region, nr_accesses) rows, from which the Figure 6 heatmaps are built.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "damon/monitor.hpp"
+#include "util/types.hpp"
+
+namespace daos::damon {
+
+struct SnapshotRegion {
+  Addr start = 0;
+  Addr end = 0;
+  std::uint32_t nr_accesses = 0;
+  std::uint32_t age = 0;
+};
+
+struct Snapshot {
+  SimTimeUs at = 0;
+  int target_index = 0;
+  std::vector<SnapshotRegion> regions;
+};
+
+class Recorder {
+ public:
+  /// Registers the recorder on `ctx`. `every` limits recording frequency
+  /// (0 = every aggregation interval). The recorder must outlive the
+  /// context's use of the hook.
+  void Attach(DamonContext& ctx, SimTimeUs every = 0);
+
+  const std::vector<Snapshot>& snapshots() const noexcept { return snapshots_; }
+  void Clear() { snapshots_.clear(); }
+
+  /// Total bytes believed accessed (nr_accesses > 0) in the latest
+  /// snapshot of target 0 — a cheap working-set-size estimate.
+  std::uint64_t LatestWorkingSetBytes() const;
+
+ private:
+  void Record(DamonContext& ctx, SimTimeUs now);
+
+  std::vector<Snapshot> snapshots_;
+  SimTimeUs every_ = 0;
+  SimTimeUs next_ = 0;
+};
+
+}  // namespace daos::damon

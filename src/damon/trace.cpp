@@ -1,0 +1,85 @@
+#include "damon/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace daos::damon {
+
+std::string SerializeTrace(const std::vector<Snapshot>& snapshots) {
+  std::string out;
+  char buf[128];
+  for (const Snapshot& snap : snapshots) {
+    std::snprintf(buf, sizeof buf, "T %llu %d %zu\n",
+                  static_cast<unsigned long long>(snap.at),
+                  snap.target_index, snap.regions.size());
+    out += buf;
+    for (const SnapshotRegion& r : snap.regions) {
+      std::snprintf(buf, sizeof buf, "R %llu %llu %u %u\n",
+                    static_cast<unsigned long long>(r.start),
+                    static_cast<unsigned long long>(r.end), r.nr_accesses,
+                    r.age);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Snapshot>> ParseTrace(std::string_view text) {
+  std::vector<Snapshot> snapshots;
+  std::size_t expected_regions = 0;
+  for (std::string_view raw : SplitChar(text, '\n')) {
+    const std::string_view line = TrimWhitespace(raw);
+    if (line.empty()) continue;
+    const std::string owned(line);
+    if (line[0] == 'T') {
+      unsigned long long at = 0;
+      int target = 0;
+      unsigned long long nr = 0;
+      if (std::sscanf(owned.c_str(), "T %llu %d %llu", &at, &target, &nr) != 3)
+        return std::nullopt;
+      if (expected_regions != 0) return std::nullopt;  // short block
+      Snapshot snap;
+      snap.at = at;
+      snap.target_index = target;
+      snap.regions.reserve(nr);
+      snapshots.push_back(std::move(snap));
+      expected_regions = nr;
+    } else if (line[0] == 'R') {
+      if (snapshots.empty() || expected_regions == 0) return std::nullopt;
+      unsigned long long start = 0, end = 0;
+      unsigned nr_accesses = 0, age = 0;
+      if (std::sscanf(owned.c_str(), "R %llu %llu %u %u", &start, &end,
+                      &nr_accesses, &age) != 4)
+        return std::nullopt;
+      if (end <= start) return std::nullopt;
+      snapshots.back().regions.push_back(
+          SnapshotRegion{start, end, nr_accesses, age});
+      --expected_regions;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (expected_regions != 0) return std::nullopt;
+  return snapshots;
+}
+
+bool WriteTraceFile(const std::string& path,
+                    const std::vector<Snapshot>& snapshots) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << SerializeTrace(snapshots);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Snapshot>> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str());
+}
+
+}  // namespace daos::damon

@@ -1,0 +1,34 @@
+// Record-file serialization for monitoring results.
+//
+// The paper's `rec`/`prec` configurations "monitor and record the access
+// patterns" (§4); the records are later visualized as heatmaps (Figure 6).
+// This is the text record format: one block per aggregation snapshot,
+//
+//     T <time_us> <target_index> <nr_regions>
+//     R <start> <end> <nr_accesses> <age>
+//     ...
+//
+// chosen over a binary format for greppability and stable round-trips.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "damon/recorder.hpp"
+
+namespace daos::damon {
+
+/// Serializes snapshots to the record text format.
+std::string SerializeTrace(const std::vector<Snapshot>& snapshots);
+
+/// Parses a record text; nullopt on any malformed line.
+std::optional<std::vector<Snapshot>> ParseTrace(std::string_view text);
+
+/// Writes/reads a record file. Returns false on I/O failure.
+bool WriteTraceFile(const std::string& path,
+                    const std::vector<Snapshot>& snapshots);
+std::optional<std::vector<Snapshot>> ReadTraceFile(const std::string& path);
+
+}  // namespace daos::damon

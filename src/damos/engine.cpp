@@ -1,0 +1,70 @@
+#include "damos/engine.hpp"
+
+#include <cstdio>
+
+#include "damos/parser.hpp"
+
+namespace daos::damos {
+
+void SchemesEngine::Attach(damon::DamonContext& ctx) {
+  ctx.AddAggregationHook(
+      [this](damon::DamonContext& c, SimTimeUs now) { Apply(c, now); });
+}
+
+bool SchemesEngine::InstallFromText(std::string_view text,
+                                    std::vector<std::string>* errors) {
+  ParseResult parsed = ParseSchemes(text);
+  if (!parsed.ok()) {
+    if (errors != nullptr) {
+      for (const ParseError& e : parsed.errors) {
+        errors->push_back("line " + std::to_string(e.line_number) + ": " +
+                          e.message);
+      }
+    }
+    return false;
+  }
+  schemes_ = std::move(parsed.schemes);
+  return true;
+}
+
+void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
+  const damon::MonitoringAttrs& attrs = ctx.attrs();
+  for (damon::DamonTarget& target : ctx.targets()) {
+    for (damon::Region& region : target.regions) {
+      for (Scheme& scheme : schemes_) {
+        if (!scheme.Matches(region, attrs)) continue;
+        scheme.stats().nr_tried += 1;
+        scheme.stats().sz_tried += region.size();
+        const std::uint64_t applied = target.primitives->ApplyAction(
+            scheme.action(), region.start, region.end, now);
+        if (applied > 0) {
+          scheme.stats().nr_applied += 1;
+          scheme.stats().sz_applied += applied;
+        }
+      }
+    }
+  }
+}
+
+std::string SchemesEngine::StatsText() const {
+  std::string out;
+  for (const Scheme& s : schemes_) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s: tried %llu regions (%llu bytes), applied %llu "
+                  "regions (%llu bytes)\n",
+                  s.ToText().c_str(),
+                  static_cast<unsigned long long>(s.stats().nr_tried),
+                  static_cast<unsigned long long>(s.stats().sz_tried),
+                  static_cast<unsigned long long>(s.stats().nr_applied),
+                  static_cast<unsigned long long>(s.stats().sz_applied));
+    out += buf;
+  }
+  return out;
+}
+
+void SchemesEngine::ResetStats() {
+  for (Scheme& s : schemes_) s.stats() = SchemeStats{};
+}
+
+}  // namespace daos::damos

@@ -1,0 +1,51 @@
+// The Memory Management Schemes Engine (paper §3.2, Figure 1).
+//
+// The engine registers itself as an aggregation hook on a DamonContext.
+// At every aggregation interval it walks the fresh monitoring results,
+// finds regions fulfilling each installed scheme's conditions, and applies
+// the scheme's action through the target's primitives — the kernel-space
+// half of DAOS that lets users optimize memory with "no code, just simple
+// configuration schemes".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "damon/monitor.hpp"
+#include "damos/scheme.hpp"
+
+namespace daos::damos {
+
+class SchemesEngine {
+ public:
+  SchemesEngine() = default;
+  explicit SchemesEngine(std::vector<Scheme> schemes)
+      : schemes_(std::move(schemes)) {}
+
+  /// Registers the engine on `ctx`. The engine must outlive the context's
+  /// use of the hook.
+  void Attach(damon::DamonContext& ctx);
+
+  /// Replaces the installed schemes (the "debugfs write" of §3.6). Returns
+  /// false and leaves the installed schemes unchanged on parse errors,
+  /// which are reported via `errors` when non-null.
+  bool InstallFromText(std::string_view text,
+                       std::vector<std::string>* errors = nullptr);
+  void Install(std::vector<Scheme> schemes) { schemes_ = std::move(schemes); }
+
+  std::vector<Scheme>& schemes() noexcept { return schemes_; }
+  const std::vector<Scheme>& schemes() const noexcept { return schemes_; }
+
+  /// One application pass over the context's current regions; normally
+  /// driven by the aggregation hook, public for tests.
+  void Apply(damon::DamonContext& ctx, SimTimeUs now);
+
+  /// Serialized stats for every scheme ("debugfs read").
+  std::string StatsText() const;
+  void ResetStats();
+
+ private:
+  std::vector<Scheme> schemes_;
+};
+
+}  // namespace daos::damos

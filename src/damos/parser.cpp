@@ -1,0 +1,134 @@
+#include "damos/parser.hpp"
+
+#include <optional>
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace daos::damos {
+namespace {
+
+std::optional<std::uint64_t> ParseSizeToken(std::string_view tok, bool is_min) {
+  const std::string lower = ToLower(tok);
+  if (lower == "min") return is_min ? 0 : 0;
+  if (lower == "max") return kMaxU64;
+  return ParseSize(tok);
+}
+
+std::optional<FreqBound> ParseFreqToken(std::string_view tok) {
+  const std::string lower = ToLower(tok);
+  if (lower == "min") return FreqBound::MinValue();
+  if (lower == "max") return FreqBound::MaxValue();
+  if (!tok.empty() && tok.back() == '%') {
+    if (auto pct = ParsePercent(tok)) return FreqBound::Percent(*pct);
+    return std::nullopt;
+  }
+  // Bare number: raw sample count per aggregation interval (Listing 3).
+  char* end = nullptr;
+  const std::string s(tok);
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || v < 0) return std::nullopt;
+  return FreqBound::Samples(v);
+}
+
+std::optional<SimTimeUs> ParseAgeToken(std::string_view tok, bool is_min) {
+  const std::string lower = ToLower(tok);
+  if (lower == "min") return is_min ? 0 : 0;
+  if (lower == "max") return kMaxU64;
+  return ParseDuration(tok);
+}
+
+}  // namespace
+
+bool ParseAction(std::string_view token, damon::DamosAction* out) {
+  const std::string t = ToLower(token);
+  if (t == "pageout" || t == "page_out") {
+    *out = damon::DamosAction::kPageout;
+  } else if (t == "hugepage" || t == "thp") {
+    *out = damon::DamosAction::kHugepage;
+  } else if (t == "nohugepage" || t == "nothp") {
+    *out = damon::DamosAction::kNohugepage;
+  } else if (t == "willneed") {
+    *out = damon::DamosAction::kWillneed;
+  } else if (t == "cold") {
+    *out = damon::DamosAction::kCold;
+  } else if (t == "stat") {
+    *out = damon::DamosAction::kStat;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ParseResult ParseSchemeLine(std::string_view line) {
+  ParseResult result;
+  const auto tokens = SplitWhitespace(StripComment(line));
+  if (tokens.size() != 7) {
+    result.errors.push_back(
+        {1, "expected 7 fields (min_size max_size min_freq max_freq "
+            "min_age max_age action), got " +
+                std::to_string(tokens.size())});
+    return result;
+  }
+
+  SchemeBounds b;
+  if (auto v = ParseSizeToken(tokens[0], true)) {
+    b.min_size = *v;
+  } else {
+    result.errors.push_back({1, "bad min_size '" + std::string(tokens[0]) + "'"});
+  }
+  if (auto v = ParseSizeToken(tokens[1], false)) {
+    b.max_size = *v;
+  } else {
+    result.errors.push_back({1, "bad max_size '" + std::string(tokens[1]) + "'"});
+  }
+  if (auto v = ParseFreqToken(tokens[2])) {
+    b.min_freq = *v;
+  } else {
+    result.errors.push_back({1, "bad min_freq '" + std::string(tokens[2]) + "'"});
+  }
+  if (auto v = ParseFreqToken(tokens[3])) {
+    b.max_freq = *v;
+  } else {
+    result.errors.push_back({1, "bad max_freq '" + std::string(tokens[3]) + "'"});
+  }
+  if (auto v = ParseAgeToken(tokens[4], true)) {
+    b.min_age = *v;
+  } else {
+    result.errors.push_back({1, "bad min_age '" + std::string(tokens[4]) + "'"});
+  }
+  if (auto v = ParseAgeToken(tokens[5], false)) {
+    b.max_age = *v;
+  } else {
+    result.errors.push_back({1, "bad max_age '" + std::string(tokens[5]) + "'"});
+  }
+  if (!ParseAction(tokens[6], &b.action)) {
+    result.errors.push_back({1, "unknown action '" + std::string(tokens[6]) + "'"});
+  }
+  if (b.min_size != kMaxU64 && b.max_size != kMaxU64 &&
+      b.min_size > b.max_size) {
+    result.errors.push_back({1, "min_size exceeds max_size"});
+  }
+
+  if (result.errors.empty()) result.schemes.emplace_back(b);
+  return result;
+}
+
+ParseResult ParseSchemes(std::string_view text) {
+  ParseResult result;
+  int line_no = 0;
+  for (std::string_view raw : SplitChar(text, '\n')) {
+    ++line_no;
+    const std::string_view line = TrimWhitespace(StripComment(raw));
+    if (line.empty()) continue;
+    ParseResult one = ParseSchemeLine(line);
+    for (ParseError& e : one.errors) {
+      e.line_number = line_no;
+      result.errors.push_back(std::move(e));
+    }
+    for (Scheme& s : one.schemes) result.schemes.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace daos::damos

@@ -1,0 +1,46 @@
+// Text parser for memory management schemes.
+//
+// Grammar of one scheme line (paper Listings 1 and 3):
+//
+//     <min_size> <max_size> <min_freq> <max_freq> <min_age> <max_age> <action>
+//
+//   * sizes:  "min" | "max" | "4K" | "2MB" | "1GiB" | raw bytes
+//   * freqs:  "min" | "max" | "80%" | raw per-aggregation sample count
+//   * ages:   "min" | "max" | "5s" | "2m" | "100ms" | raw seconds
+//   * action: pageout|page_out, hugepage|thp, nohugepage|nothp,
+//             willneed, cold, stat
+//
+// '#' starts a comment; blank lines are skipped. This is the user-space
+// "debugfs write" format of the paper's implementation (§3.6).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "damos/scheme.hpp"
+
+namespace daos::damos {
+
+struct ParseError {
+  int line_number = 0;  // 1-based line within the input text
+  std::string message;
+};
+
+struct ParseResult {
+  std::vector<Scheme> schemes;
+  std::vector<ParseError> errors;
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses a single scheme line (must not be blank/comment-only).
+ParseResult ParseSchemeLine(std::string_view line);
+
+/// Parses a full scheme description (multiple lines, comments allowed).
+ParseResult ParseSchemes(std::string_view text);
+
+/// Parses an action keyword; returns true on success.
+bool ParseAction(std::string_view token, damon::DamosAction* out);
+
+}  // namespace daos::damos

@@ -1,0 +1,209 @@
+#include "dbgfs/damon_dbgfs.hpp"
+
+#include <cstdio>
+
+#include "damos/parser.hpp"
+#include "sim/system.hpp"
+#include "util/strings.hpp"
+
+namespace daos::dbgfs {
+
+DamonDbgfs::DamonDbgfs(sim::System* system, PseudoFs* fs, std::string root)
+    : system_(system),
+      fs_(fs),
+      root_(std::move(root)),
+      ctx_(std::make_unique<damon::DamonContext>(
+          damon::MonitoringAttrs::PaperDefaults(), /*seed=*/42,
+          system->machine().costs().monitor_interference_us)) {
+  engine_.Attach(*ctx_);
+
+  fs_->RegisterFile(
+      root_ + "/attrs", [this] { return ReadAttrs(); },
+      [this](std::string_view c, std::string* e) { return WriteAttrs(c, e); });
+  fs_->RegisterFile(
+      root_ + "/target_ids", [this] { return ReadTargets(); },
+      [this](std::string_view c, std::string* e) {
+        return WriteTargets(c, e);
+      });
+  fs_->RegisterFile(
+      root_ + "/schemes", [this] { return ReadSchemes(); },
+      [this](std::string_view c, std::string* e) {
+        return WriteSchemes(c, e);
+      });
+  fs_->RegisterFile(
+      root_ + "/monitor_on", [this] { return ReadMonitorOn(); },
+      [this](std::string_view c, std::string* e) {
+        return WriteMonitorOn(c, e);
+      });
+
+  system_->RegisterDaemon([this](SimTimeUs now, SimTimeUs quantum) {
+    return on_ ? ctx_->Step(now, quantum) : 0.0;
+  });
+}
+
+DamonDbgfs::~DamonDbgfs() {
+  fs_->RemoveFile(root_ + "/attrs");
+  fs_->RemoveFile(root_ + "/target_ids");
+  fs_->RemoveFile(root_ + "/schemes");
+  fs_->RemoveFile(root_ + "/monitor_on");
+  // The daemon registered on the System captures `this`; the System must
+  // not be stepped after the dbgfs is destroyed (matches kernel teardown
+  // ordering: debugfs dies with the module).
+}
+
+std::string DamonDbgfs::ReadAttrs() const {
+  char buf[128];
+  const damon::MonitoringAttrs& a = ctx_->attrs();
+  std::snprintf(buf, sizeof buf, "%llu %llu %llu %u %u\n",
+                static_cast<unsigned long long>(a.sampling_interval),
+                static_cast<unsigned long long>(a.aggregation_interval),
+                static_cast<unsigned long long>(a.regions_update_interval),
+                a.min_nr_regions, a.max_nr_regions);
+  return buf;
+}
+
+bool DamonDbgfs::WriteAttrs(std::string_view content, std::string* error) {
+  const auto tokens = SplitWhitespace(content);
+  if (tokens.size() != 5) {
+    if (error != nullptr)
+      *error = "attrs expects: sample_us aggr_us update_us min_nr max_nr";
+    return false;
+  }
+  unsigned long long vals[5];
+  for (int i = 0; i < 5; ++i) {
+    char* end = nullptr;
+    const std::string t(tokens[i]);
+    vals[i] = std::strtoull(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0') {
+      if (error != nullptr) *error = "bad number '" + t + "'";
+      return false;
+    }
+  }
+  if (vals[0] == 0 || vals[1] < vals[0] || vals[3] == 0 || vals[4] < vals[3]) {
+    if (error != nullptr) *error = "inconsistent attrs";
+    return false;
+  }
+  damon::MonitoringAttrs& a = ctx_->attrs();
+  a.sampling_interval = vals[0];
+  a.aggregation_interval = vals[1];
+  a.regions_update_interval = vals[2];
+  a.min_nr_regions = static_cast<std::uint32_t>(vals[3]);
+  a.max_nr_regions = static_cast<std::uint32_t>(vals[4]);
+  return true;
+}
+
+std::string DamonDbgfs::ReadTargets() const {
+  if (paddr_) return "paddr\n";
+  std::string out;
+  for (int pid : target_pids_) {
+    out += std::to_string(pid);
+    out += ' ';
+  }
+  if (!out.empty()) out.back() = '\n';
+  return out;
+}
+
+bool DamonDbgfs::RebuildTargets(std::string* error) {
+  ctx_->targets().clear();
+  if (paddr_) {
+    ctx_->AddTarget(std::make_unique<damon::PaddrPrimitives>(
+        &system_->machine(),
+        system_->machine().costs().monitor_check_paddr_us));
+    return true;
+  }
+  for (int pid : target_pids_) {
+    sim::Process* found = nullptr;
+    for (auto& proc : system_->processes()) {
+      if (proc->pid() == pid) found = proc.get();
+    }
+    if (found == nullptr) {
+      if (error != nullptr) *error = "no such pid: " + std::to_string(pid);
+      return false;
+    }
+    ctx_->AddTarget(std::make_unique<damon::VaddrPrimitives>(
+        &found->space(), system_->machine().costs().monitor_check_us));
+  }
+  return true;
+}
+
+bool DamonDbgfs::WriteTargets(std::string_view content, std::string* error) {
+  const auto tokens = SplitWhitespace(content);
+  std::vector<int> pids;
+  bool paddr = false;
+  for (std::string_view tok : tokens) {
+    if (ToLower(tok) == "paddr") {
+      paddr = true;
+      continue;
+    }
+    char* end = nullptr;
+    const std::string t(tok);
+    const long pid = std::strtol(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0' || pid <= 0) {
+      if (error != nullptr) *error = "bad target '" + t + "'";
+      return false;
+    }
+    pids.push_back(static_cast<int>(pid));
+  }
+  if (paddr && !pids.empty()) {
+    if (error != nullptr) *error = "paddr cannot be mixed with pids";
+    return false;
+  }
+  const std::vector<int> old_pids = std::move(target_pids_);
+  const bool old_paddr = paddr_;
+  target_pids_ = std::move(pids);
+  paddr_ = paddr;
+  if (!RebuildTargets(error)) {
+    target_pids_ = old_pids;
+    paddr_ = old_paddr;
+    RebuildTargets(nullptr);
+    return false;
+  }
+  return true;
+}
+
+std::string DamonDbgfs::ReadSchemes() const {
+  // Kernel format: each scheme line followed by its stats.
+  std::string out;
+  for (const damos::Scheme& s : engine_.schemes()) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s # tried %llu (%llu bytes) applied %llu (%llu bytes)\n",
+                  s.ToText().c_str(),
+                  static_cast<unsigned long long>(s.stats().nr_tried),
+                  static_cast<unsigned long long>(s.stats().sz_tried),
+                  static_cast<unsigned long long>(s.stats().nr_applied),
+                  static_cast<unsigned long long>(s.stats().sz_applied));
+    out += buf;
+  }
+  return out;
+}
+
+bool DamonDbgfs::WriteSchemes(std::string_view content, std::string* error) {
+  std::vector<std::string> errors;
+  if (!engine_.InstallFromText(content, &errors)) {
+    if (error != nullptr && !errors.empty()) *error = errors.front();
+    return false;
+  }
+  return true;
+}
+
+std::string DamonDbgfs::ReadMonitorOn() const { return on_ ? "on\n" : "off\n"; }
+
+bool DamonDbgfs::WriteMonitorOn(std::string_view content, std::string* error) {
+  const std::string value = ToLower(TrimWhitespace(content));
+  if (value == "on") {
+    if (ctx_->targets().empty()) {
+      if (error != nullptr) *error = "no monitoring targets configured";
+      return false;
+    }
+    on_ = true;
+    return true;
+  }
+  if (value == "off") {
+    on_ = false;
+    return true;
+  }
+  if (error != nullptr) *error = "expected 'on' or 'off'";
+  return false;
+}
+
+}  // namespace daos::dbgfs

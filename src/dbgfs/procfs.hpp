@@ -1,0 +1,38 @@
+// A procfs analogue: the paper's runtime "uses another Linux kernel
+// pseudo-file system called procfs to read the memory footprint of the
+// target workload" (§3.6). Exposes, per process:
+//
+//   /proc/<pid>/status  VmRSS / VmSize lines (kB, as Linux prints them)
+//   /proc/<pid>/statm   "size resident" in pages
+#pragma once
+
+#include <string>
+
+#include "dbgfs/pseudo_fs.hpp"
+
+namespace daos::sim {
+class System;
+}
+
+namespace daos::dbgfs {
+
+class ProcFs {
+ public:
+  /// Registers files for every process currently in `system`; call
+  /// Refresh() after adding processes. Both must outlive this object.
+  ProcFs(sim::System* system, PseudoFs* fs, std::string root = "/proc");
+
+  /// Re-registers files so newly added processes appear.
+  void Refresh();
+
+  /// Convenience: reads a pid's RSS in bytes through the filesystem,
+  /// the way the runtime's scripts do. Returns 0 for unknown pids.
+  std::uint64_t ReadRssBytes(int pid) const;
+
+ private:
+  sim::System* system_;
+  PseudoFs* fs_;
+  std::string root_;
+};
+
+}  // namespace daos::dbgfs

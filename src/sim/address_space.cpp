@@ -1,0 +1,493 @@
+#include "sim/address_space.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/machine.hpp"
+
+namespace daos::sim {
+namespace {
+
+constexpr SimTimeUs kLogHorizonUs = 10 * kUsPerSec;
+constexpr std::size_t kLogCap = 4096;
+
+std::uint32_t ToMs(SimTimeUs us) { return static_cast<std::uint32_t>(us / 1000); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Vma
+// ---------------------------------------------------------------------------
+
+Vma::Vma(Addr start, Addr end, std::string name)
+    : start_(start),
+      end_(end),
+      aligned_base_(AlignDown(start, kHugePageSize)),
+      name_(std::move(name)) {
+  assert(start % kPageSize == 0 && end % kPageSize == 0 && end > start);
+  pages_.resize(static_cast<std::size_t>((end - start) >> kPageShift));
+  const std::size_t nblocks = static_cast<std::size_t>(
+      (AlignUp(end, kHugePageSize) - aligned_base_) >> kHugePageShift);
+  blocks_.resize(nblocks);
+}
+
+std::pair<std::size_t, std::size_t> Vma::BlockPageSpan(std::size_t block) const {
+  const Addr bstart = aligned_base_ + (static_cast<Addr>(block) << kHugePageShift);
+  const Addr bend = bstart + kHugePageSize;
+  const Addr lo = std::max(bstart, start_);
+  const Addr hi = std::min(bend, end_);
+  return {PageIndex(lo), PageIndex(hi - 1) + 1};
+}
+
+bool Vma::BlockIsFull(std::size_t block) const {
+  const auto [lo, hi] = BlockPageSpan(block);
+  return hi - lo == kPagesPerHuge;
+}
+
+void Vma::LogRangeTouch(Addr s, Addr e, SimTimeUs now) {
+  if (!log_.empty()) {
+    RangeTouch& back = log_.back();
+    // Coalesce repeats of the same sweep window (a stable hot set touched
+    // every quantum) and contiguous/overlapping same-instant touches (a
+    // sweep emitted block by block).
+    if (back.start == s && back.end == e) {
+      back.at = now;
+      return;
+    }
+    if (back.at == now && s <= back.end && e >= back.start) {
+      back.start = std::min(back.start, s);
+      back.end = std::max(back.end, e);
+      return;
+    }
+  }
+  log_.push_back(RangeTouch{s, e, now});
+  if (log_.size() > kLogCap) log_.pop_front();
+}
+
+bool Vma::LogCoversSince(Addr a, SimTimeUs since) const {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->at < since) break;  // entries are time-ordered
+    if (a >= it->start && a < it->end) return true;
+  }
+  return false;
+}
+
+void Vma::GcLog(SimTimeUs now, SimTimeUs horizon) {
+  const SimTimeUs cutoff = now > horizon ? now - horizon : 0;
+  while (!log_.empty() && log_.front().at < cutoff) log_.pop_front();
+}
+
+// ---------------------------------------------------------------------------
+// AddressSpace
+// ---------------------------------------------------------------------------
+
+AddressSpace::AddressSpace(int id, Machine* machine, double zram_ratio)
+    : id_(id), machine_(machine), zram_ratio_(zram_ratio) {
+  machine_->RegisterSpace(this);
+}
+
+AddressSpace::~AddressSpace() {
+  // Return all frames and swap slots to the machine.
+  for (Vma& vma : vmas_) {
+    for (std::size_t i = 0; i < vma.page_count(); ++i) {
+      Page& pg = vma.pages_[i];
+      if (pg.Present()) machine_->UnchargeFrames(1);
+      if (pg.Swapped()) machine_->swap().ReleasePage(zram_ratio_);
+    }
+  }
+  machine_->UnregisterSpace(this);
+}
+
+Vma& AddressSpace::Map(Addr start, std::uint64_t len, std::string name) {
+  const Addr aligned_start = AlignDown(start, kPageSize);
+  const Addr aligned_end = AlignUp(start + len, kPageSize);
+  // Insert keeping vmas_ sorted by start; overlap is a caller bug.
+  auto it = std::lower_bound(
+      vmas_.begin(), vmas_.end(), aligned_start,
+      [](const Vma& v, Addr a) { return v.start() < a; });
+  assert((it == vmas_.end() || it->start() >= aligned_end) &&
+         (it == vmas_.begin() || std::prev(it)->end() <= aligned_start));
+  it = vmas_.emplace(it, aligned_start, aligned_end, std::move(name));
+  mapped_bytes_ += it->size();
+  ++layout_gen_;
+  return *it;
+}
+
+void AddressSpace::UnmapVma(Addr start) {
+  auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                         [start](const Vma& v) { return v.start() == start; });
+  if (it == vmas_.end()) return;
+  for (std::size_t i = 0; i < it->page_count(); ++i) {
+    Page& pg = it->pages_[i];
+    if (pg.Present()) {
+      machine_->UnchargeFrames(1);
+      --resident_pages_;
+      if (pg.HugeBloat()) --bloat_pages_;
+    }
+    if (pg.Swapped()) {
+      machine_->swap().ReleasePage(zram_ratio_);
+      --swapped_pages_;
+    }
+  }
+  for (std::size_t b = 0; b < it->block_count(); ++b) {
+    if (it->block(b).huge) --huge_blocks_;
+  }
+  mapped_bytes_ -= it->size();
+  vmas_.erase(it);
+  ++layout_gen_;
+}
+
+Vma* AddressSpace::FindVma(Addr a) {
+  auto it = std::upper_bound(vmas_.begin(), vmas_.end(), a,
+                             [](Addr x, const Vma& v) { return x < v.end(); });
+  if (it == vmas_.end() || !it->Contains(a)) return nullptr;
+  return &*it;
+}
+
+const Vma* AddressSpace::FindVma(Addr a) const {
+  return const_cast<AddressSpace*>(this)->FindVma(a);
+}
+
+void AddressSpace::MakeResident(Vma& vma, std::size_t page_idx, bool via_thp) {
+  Page& pg = vma.pages_[page_idx];
+  assert(!pg.Present());
+  pg.Set(Page::kPresent);
+  machine_->ChargeFrames(1);
+  ++resident_pages_;
+  const Addr addr = vma.AddrOfIndex(page_idx);
+  ++vma.blocks_[vma.BlockOfAddr(addr)].resident;
+  if (via_thp && !pg.EverTouched()) {
+    pg.Set(Page::kHugeBloat);
+    ++bloat_pages_;
+  }
+}
+
+void AddressSpace::MakeNonResident(Vma& vma, std::size_t page_idx) {
+  Page& pg = vma.pages_[page_idx];
+  assert(pg.Present());
+  pg.Clear(Page::kPresent);
+  pg.Clear(Page::kAccessed);
+  pg.Clear(Page::kDeactivated);
+  if (pg.HugeBloat()) {
+    pg.Clear(Page::kHugeBloat);
+    --bloat_pages_;
+  }
+  machine_->UnchargeFrames(1);
+  --resident_pages_;
+  const Addr addr = vma.AddrOfIndex(page_idx);
+  --vma.blocks_[vma.BlockOfAddr(addr)].resident;
+}
+
+TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
+                                 SimTimeUs now) {
+  TouchStats st;
+  Page& pg = vma.pages_[page_idx];
+  const CostModel& costs = machine_->costs();
+  if (pg.Swapped()) {
+    // Major fault: bring the page back from the swap device.
+    machine_->swap().ReleasePage(zram_ratio_);
+    machine_->swap().CountPageIn();
+    pg.Clear(Page::kSwapped);
+    --swapped_pages_;
+    MakeResident(vma, page_idx, /*via_thp=*/false);
+    ++major_faults_;
+    ++st.major_faults;
+    st.stall_us += static_cast<double>(machine_->swap().config().page_in_us);
+  } else {
+    // Minor fault: first touch of an anonymous page. Under THP `always`,
+    // a fault in an empty, fully-mapped 2 MiB block allocates a whole huge
+    // page (this is where the paper's "memory bloat" comes from).
+    const std::size_t block = vma.BlockOfAddr(vma.AddrOfIndex(page_idx));
+    if (machine_->thp_mode() == ThpMode::kAlways && vma.BlockIsFull(block) &&
+        !vma.block(block).huge && vma.block(block).resident == 0) {
+      PromoteBlock(vma, block, now);
+      st.stall_us += costs.minor_fault_us + costs.huge_fault_extra_us;
+    } else {
+      MakeResident(vma, page_idx, /*via_thp=*/false);
+      st.stall_us += costs.minor_fault_us;
+    }
+    ++minor_faults_;
+    ++st.minor_faults;
+  }
+  if (write) pg.Set(Page::kDirty);
+  return st;
+}
+
+TouchStats AddressSpace::TouchPage(Addr addr, bool write, SimTimeUs now) {
+  TouchStats st;
+  Vma* vma = FindVma(addr);
+  if (vma == nullptr) return st;
+  const std::size_t idx = vma->PageIndex(addr);
+  Page& pg = vma->pages_[idx];
+  if (!pg.Present()) st += FaultIn(*vma, idx, write, now);
+  pg.Set(Page::kAccessed);
+  pg.Set(Page::kEverTouched);
+  pg.Clear(Page::kDeactivated);
+  if (write) pg.Set(Page::kDirty);
+  if (pg.HugeBloat()) {
+    pg.Clear(Page::kHugeBloat);
+    --bloat_pages_;
+  }
+  pg.last_touch_ms = ToMs(now);
+  ++st.pages;
+  if (pg.Huge()) ++st.huge_pages;
+  return st;
+}
+
+TouchStats AddressSpace::TouchRange(Addr start, Addr end, bool write,
+                                    SimTimeUs now) {
+  TouchStats st;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const Addr lo = std::max(start, vma.start());
+    const Addr hi = std::min(end, vma.end());
+    vma.LogRangeTouch(lo, hi, now);
+    const std::size_t first_block = vma.BlockOfAddr(lo);
+    const std::size_t last_block = vma.BlockOfAddr(hi - 1);
+    for (std::size_t b = first_block; b <= last_block; ++b) {
+      auto [plo, phi] = vma.BlockPageSpan(b);
+      // Clamp the block's page span to the touched range.
+      plo = std::max(plo, vma.PageIndex(lo));
+      phi = std::min(phi, vma.PageIndex(hi - 1) + 1);
+      const std::size_t span = phi - plo;
+      Vma::Block& blk = vma.block(b);
+      const bool fully_resident =
+          blk.resident == vma.BlockPageSpan(b).second - vma.BlockPageSpan(b).first;
+      if (fully_resident && !BlockHasBloat(vma, b)) {
+        // Fast path: residency and accessed-state are already correct; the
+        // touch log carries the accessed information for IsYoung().
+        st.pages += span;
+        if (blk.huge) st.huge_pages += span;
+        continue;
+      }
+      for (std::size_t i = plo; i < phi; ++i) {
+        Page& pg = vma.pages_[i];
+        if (!pg.Present()) st += FaultIn(vma, i, write, now);
+        pg.Set(Page::kAccessed);
+        pg.Set(Page::kEverTouched);
+        pg.Clear(Page::kDeactivated);
+        if (pg.HugeBloat()) {
+          pg.Clear(Page::kHugeBloat);
+          --bloat_pages_;
+        }
+        if (write) pg.Set(Page::kDirty);
+        pg.last_touch_ms = ToMs(now);
+        ++st.pages;
+        if (pg.Huge()) ++st.huge_pages;
+      }
+    }
+  }
+  return st;
+}
+
+bool AddressSpace::BlockHasBloat(const Vma& vma, std::size_t block) const {
+  if (bloat_pages_ == 0) return false;
+  const auto [plo, phi] = vma.BlockPageSpan(block);
+  for (std::size_t i = plo; i < phi; ++i) {
+    if (vma.pages_[i].HugeBloat()) return true;
+  }
+  return false;
+}
+
+void AddressSpace::MkOld(Addr addr, SimTimeUs now) {
+  Vma* vma = FindVma(addr);
+  if (vma == nullptr) return;
+  Page& pg = vma->PageAt(addr);
+  pg.Clear(Page::kAccessed);
+  pg.acc_cleared_ms = ToMs(now);
+}
+
+bool AddressSpace::IsYoung(Addr addr) const {
+  const Vma* vma = FindVma(addr);
+  if (vma == nullptr) return false;
+  const Page& pg = vma->PageAt(addr);
+  if (pg.Accessed()) return true;
+  const SimTimeUs since = static_cast<SimTimeUs>(pg.acc_cleared_ms) * 1000;
+  return vma->LogCoversSince(addr, since);
+}
+
+bool AddressSpace::IsResident(Addr addr) const {
+  const Vma* vma = FindVma(addr);
+  return vma != nullptr && vma->PageAt(addr).Present();
+}
+
+std::uint64_t AddressSpace::PageOutRange(Addr start, Addr end, SimTimeUs now) {
+  (void)now;
+  std::uint64_t evicted = 0;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const Addr lo = std::max(start, vma.start());
+    const Addr hi = std::min(end, vma.end());
+    // The kernel splits THPs before paging parts of them out; demoting also
+    // frees bloat sub-pages for free.
+    const std::size_t first_block = vma.BlockOfAddr(lo);
+    const std::size_t last_block = vma.BlockOfAddr(hi - 1);
+    for (std::size_t b = first_block; b <= last_block; ++b) {
+      if (vma.block(b).huge) DemoteBlock(vma, b);
+    }
+    const std::size_t plo = vma.PageIndex(lo);
+    const std::size_t phi = vma.PageIndex(hi - 1) + 1;
+    for (std::size_t i = plo; i < phi; ++i) {
+      if (!vma.pages_[i].Present()) continue;
+      if (EvictPage(vma, i)) {
+        evicted += kPageSize;
+      } else {
+        // Swap device full (or absent): nothing more can leave.
+        ++machine_->counters().failed_evictions;
+        return evicted;
+      }
+    }
+  }
+  return evicted;
+}
+
+std::uint64_t AddressSpace::SwapInRange(Addr start, Addr end, SimTimeUs now) {
+  (void)now;
+  std::uint64_t bytes = 0;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const std::size_t plo = vma.PageIndex(std::max(start, vma.start()));
+    const std::size_t phi =
+        vma.PageIndex(std::min(end, vma.end()) - 1) + 1;
+    for (std::size_t i = plo; i < phi; ++i) {
+      Page& pg = vma.pages_[i];
+      if (!pg.Swapped()) continue;
+      machine_->swap().ReleasePage(zram_ratio_);
+      machine_->swap().CountPageIn();
+      pg.Clear(Page::kSwapped);
+      --swapped_pages_;
+      MakeResident(vma, i, /*via_thp=*/false);
+      bytes += kPageSize;
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t AddressSpace::DeactivateRange(Addr start, Addr end) {
+  std::uint64_t bytes = 0;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const std::size_t plo = vma.PageIndex(std::max(start, vma.start()));
+    const std::size_t phi =
+        vma.PageIndex(std::min(end, vma.end()) - 1) + 1;
+    for (std::size_t i = plo; i < phi; ++i) {
+      Page& pg = vma.pages_[i];
+      if (!pg.Present() || pg.Huge()) continue;
+      pg.Set(Page::kDeactivated);
+      bytes += kPageSize;
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t AddressSpace::PromoteRange(Addr start, Addr end, SimTimeUs now) {
+  std::uint64_t bytes = 0;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const Addr lo = std::max(start, vma.start());
+    const Addr hi = std::min(end, vma.end());
+    const std::size_t first_block = vma.BlockOfAddr(lo);
+    const std::size_t last_block = vma.BlockOfAddr(hi - 1);
+    for (std::size_t b = first_block; b <= last_block; ++b) {
+      // Promote blocks at least half-covered by the requested range; DAMON
+      // region bounds are arbitrary while huge pages are 2 MiB aligned.
+      const Addr bstart =
+          AlignDown(vma.start(), kHugePageSize) +
+          (static_cast<Addr>(b) << kHugePageShift);
+      const Addr overlap = std::min(hi, bstart + kHugePageSize) -
+                           std::max(lo, bstart);
+      if (overlap * 2 < kHugePageSize) continue;
+      bytes += PromoteBlock(vma, b, now);
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t AddressSpace::DemoteRange(Addr start, Addr end) {
+  std::uint64_t freed = 0;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const Addr lo = std::max(start, vma.start());
+    const Addr hi = std::min(end, vma.end());
+    const std::size_t first_block = vma.BlockOfAddr(lo);
+    const std::size_t last_block = vma.BlockOfAddr(hi - 1);
+    for (std::size_t b = first_block; b <= last_block; ++b) {
+      freed += DemoteBlock(vma, b);
+    }
+  }
+  return freed;
+}
+
+std::uint64_t AddressSpace::PromoteBlock(Vma& vma, std::size_t block,
+                                         SimTimeUs now) {
+  if (block >= vma.block_count()) return 0;
+  Vma::Block& blk = vma.block(block);
+  if (blk.huge || !vma.BlockIsFull(block)) return 0;
+  const auto [plo, phi] = vma.BlockPageSpan(block);
+  std::uint64_t newly_resident = 0;
+  for (std::size_t i = plo; i < phi; ++i) {
+    Page& pg = vma.pages_[i];
+    if (pg.Swapped()) {
+      machine_->swap().ReleasePage(zram_ratio_);
+      pg.Clear(Page::kSwapped);
+      --swapped_pages_;
+    }
+    if (!pg.Present()) {
+      MakeResident(vma, i, /*via_thp=*/true);
+      newly_resident += kPageSize;
+    }
+    pg.Set(Page::kHuge);
+    pg.last_touch_ms = std::max(pg.last_touch_ms, ToMs(now));
+  }
+  blk.huge = true;
+  ++huge_blocks_;
+  return newly_resident;
+}
+
+std::uint64_t AddressSpace::DemoteBlock(Vma& vma, std::size_t block) {
+  if (block >= vma.block_count()) return 0;
+  Vma::Block& blk = vma.block(block);
+  if (!blk.huge) return 0;
+  const auto [plo, phi] = vma.BlockPageSpan(block);
+  std::uint64_t freed = 0;
+  for (std::size_t i = plo; i < phi; ++i) {
+    Page& pg = vma.pages_[i];
+    pg.Clear(Page::kHuge);
+    if (pg.HugeBloat() && !pg.EverTouched()) {
+      // This sub-page only exists because of the huge allocation; splitting
+      // lets the kernel hand it back — this is the bloat ethp removes.
+      MakeNonResident(vma, i);
+      freed += kPageSize;
+    }
+  }
+  blk.huge = false;
+  --huge_blocks_;
+  return freed;
+}
+
+bool AddressSpace::EvictPage(Vma& vma, std::size_t page_idx) {
+  Page& pg = vma.pages_[page_idx];
+  if (!pg.Present() || pg.Huge()) return false;
+  if (!pg.EverTouched()) {
+    // Pure bloat page: no content worth swapping, just free it.
+    MakeNonResident(vma, page_idx);
+    return true;
+  }
+  if (!machine_->swap().StorePage(zram_ratio_)) return false;
+  if (pg.Dirty()) {
+    ++dirty_evictions_;
+  } else {
+    ++clean_evictions_;
+  }
+  MakeNonResident(vma, page_idx);
+  pg.Set(Page::kSwapped);
+  pg.Clear(Page::kDirty);
+  ++swapped_pages_;
+  return true;
+}
+
+void AddressSpace::MaintainLogs(SimTimeUs now) {
+  for (Vma& vma : vmas_) vma.GcLog(now, kLogHorizonUs);
+}
+
+}  // namespace daos::sim

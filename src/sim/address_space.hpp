@@ -1,0 +1,229 @@
+// Simulated virtual address spaces: VMAs, pages, accessed bits, THP blocks.
+//
+// This is the substrate equivalent of the Linux mm structures the paper's
+// kernel implementation works against (struct vma, PTEs with accessed bits,
+// rmap). The workload touches pages here; the Data Access Monitor samples
+// accessed bits here; DAMOS actions (PAGEOUT, HUGEPAGE, ...) mutate state
+// here.
+//
+// Scale note: workloads map tens of GiB, but the monitor only ever samples
+// O(max_nr_regions) pages per interval. To keep simulation cost independent
+// of address-space size, *range* touches over fully-resident 2 MiB blocks
+// are not applied page-by-page; they are recorded in a per-VMA touch log,
+// and accessed-bit queries (`IsYoung`) consult both the per-page bit and
+// the log. Per-page work only happens where state actually changes (faults,
+// evictions, promotions) — the same pages where a real kernel would take a
+// slow path too.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/page.hpp"
+#include "util/types.hpp"
+
+namespace daos::sim {
+
+class Machine;
+
+/// One recent "the workload swept [start, end)" event.
+struct RangeTouch {
+  Addr start = 0;
+  Addr end = 0;
+  SimTimeUs at = 0;
+};
+
+/// Outcome of a touch operation, aggregated over all pages it covered.
+struct TouchStats {
+  std::uint64_t pages = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t huge_pages = 0;  // touched pages backed by a huge mapping
+  double stall_us = 0.0;         // fault latencies the process must absorb
+
+  TouchStats& operator+=(const TouchStats& o) {
+    pages += o.pages;
+    minor_faults += o.minor_faults;
+    major_faults += o.major_faults;
+    huge_pages += o.huge_pages;
+    stall_us += o.stall_us;
+    return *this;
+  }
+};
+
+/// A contiguous mapping, the `struct vma` equivalent.
+class Vma {
+ public:
+  Vma(Addr start, Addr end, std::string name);
+
+  Addr start() const noexcept { return start_; }
+  Addr end() const noexcept { return end_; }
+  std::uint64_t size() const noexcept { return end_ - start_; }
+  const std::string& name() const noexcept { return name_; }
+
+  bool Contains(Addr a) const noexcept { return a >= start_ && a < end_; }
+
+  Page& PageAt(Addr a) { return pages_[PageIndex(a)]; }
+  const Page& PageAt(Addr a) const { return pages_[PageIndex(a)]; }
+  std::size_t PageIndex(Addr a) const noexcept {
+    return static_cast<std::size_t>((a - start_) >> kPageShift);
+  }
+  Addr AddrOfIndex(std::size_t idx) const noexcept {
+    return start_ + (static_cast<Addr>(idx) << kPageShift);
+  }
+  std::size_t page_count() const noexcept { return pages_.size(); }
+
+  // --- 2 MiB block bookkeeping (THP) -------------------------------------
+  // Blocks are indexed over [start, end) in 2 MiB strides relative to the
+  // absolutely aligned base, so block boundaries match real huge-page
+  // alignment.
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  std::size_t BlockOfAddr(Addr a) const noexcept {
+    return static_cast<std::size_t>((a - aligned_base_) >> kHugePageShift);
+  }
+  /// First/last+1 page index of a block, clamped to the VMA.
+  std::pair<std::size_t, std::size_t> BlockPageSpan(std::size_t block) const;
+  /// Whether the block covers a full 2 MiB inside the VMA (promotable).
+  bool BlockIsFull(std::size_t block) const;
+
+  struct Block {
+    std::uint16_t resident = 0;  // resident pages in this block
+    bool huge = false;           // currently mapped as a 2 MiB page
+  };
+  Block& block(std::size_t i) { return blocks_[i]; }
+  const Block& block(std::size_t i) const { return blocks_[i]; }
+
+  // --- range-touch log -----------------------------------------------------
+  void LogRangeTouch(Addr s, Addr e, SimTimeUs now);
+  /// True if the log records a sweep covering `a` at or after `since`.
+  bool LogCoversSince(Addr a, SimTimeUs since) const;
+  void GcLog(SimTimeUs now, SimTimeUs horizon);
+  std::size_t log_size() const noexcept { return log_.size(); }
+
+ private:
+  friend class AddressSpace;
+
+  Addr start_;
+  Addr end_;
+  Addr aligned_base_;  // AlignDown(start, 2 MiB)
+  std::string name_;
+  std::vector<Page> pages_;
+  std::vector<Block> blocks_;
+  std::deque<RangeTouch> log_;
+};
+
+/// A process's virtual address space.
+class AddressSpace {
+ public:
+  /// `machine` provides frame accounting, the swap device and THP policy;
+  /// it must outlive the address space. `zram_ratio` is this process's
+  /// page compressibility (original/compressed) on compressed swap.
+  AddressSpace(int id, Machine* machine, double zram_ratio);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  int id() const noexcept { return id_; }
+  double zram_ratio() const noexcept { return zram_ratio_; }
+
+  // --- layout ---------------------------------------------------------------
+  Vma& Map(Addr start, std::uint64_t len, std::string name);
+  /// Unmaps a whole VMA identified by its start address; frees its frames.
+  void UnmapVma(Addr start);
+  const std::vector<Vma>& vmas() const noexcept { return vmas_; }
+  std::vector<Vma>& vmas() noexcept { return vmas_; }
+  Vma* FindVma(Addr a);
+  const Vma* FindVma(Addr a) const;
+  /// Bumped on every Map/Unmap; the monitor's regions-update logic uses it
+  /// to detect layout changes (the paper's mmap()/hotplug events).
+  std::uint64_t layout_generation() const noexcept { return layout_gen_; }
+
+  // --- workload side ----------------------------------------------------------
+  TouchStats TouchPage(Addr addr, bool write, SimTimeUs now);
+  /// Touch every page in [start, end). Fully-resident blocks are handled
+  /// via the touch log in O(1); faults are charged per missing page.
+  TouchStats TouchRange(Addr start, Addr end, bool write, SimTimeUs now);
+
+  // --- monitor primitives ----------------------------------------------------
+  /// Clears the accessed state of the page at `addr` (PTE mkold).
+  void MkOld(Addr addr, SimTimeUs now);
+  /// True if the page was accessed since its last MkOld.
+  bool IsYoung(Addr addr) const;
+  /// True if addr is backed by a resident page.
+  bool IsResident(Addr addr) const;
+
+  // --- DAMOS action side ------------------------------------------------------
+  /// Evicts resident pages in [start, end) to the machine's swap device.
+  /// Huge mappings inside the range are demoted first (as the kernel splits
+  /// THPs on pageout). Returns bytes actually paged out.
+  std::uint64_t PageOutRange(Addr start, Addr end, SimTimeUs now);
+  /// Swaps in any swapped pages in the range (WILLNEED). Returns bytes.
+  std::uint64_t SwapInRange(Addr start, Addr end, SimTimeUs now);
+  /// Marks the range as reclaim-first (COLD). Returns bytes affected.
+  std::uint64_t DeactivateRange(Addr start, Addr end);
+  /// Promotes fully-contained 2 MiB blocks to huge mappings (HUGEPAGE).
+  /// Untouched sub-pages become resident "bloat". Returns bytes newly
+  /// resident.
+  std::uint64_t PromoteRange(Addr start, Addr end, SimTimeUs now);
+  /// Splits huge mappings in the range (NOHUGEPAGE) and frees sub-pages the
+  /// workload never touched (the bloat). Returns bytes freed.
+  std::uint64_t DemoteRange(Addr start, Addr end);
+
+  // --- THP internals (also used by the machine's khugepaged) -----------------
+  /// Promotes one block of `vma` to a huge mapping. Returns bytes newly
+  /// resident, or 0 if not promotable.
+  std::uint64_t PromoteBlock(Vma& vma, std::size_t block, SimTimeUs now);
+  std::uint64_t DemoteBlock(Vma& vma, std::size_t block);
+
+  // --- reclaim support --------------------------------------------------------
+  /// Evicts one specific resident, non-huge page (used by the baseline
+  /// reclaimer). Returns true on success.
+  bool EvictPage(Vma& vma, std::size_t page_idx);
+
+  // --- statistics --------------------------------------------------------------
+  std::uint64_t resident_bytes() const noexcept {
+    return resident_pages_ * kPageSize;
+  }
+  std::uint64_t resident_pages() const noexcept { return resident_pages_; }
+  std::uint64_t swapped_pages() const noexcept { return swapped_pages_; }
+  std::uint64_t mapped_bytes() const noexcept { return mapped_bytes_; }
+  std::uint64_t major_faults() const noexcept { return major_faults_; }
+  std::uint64_t minor_faults() const noexcept { return minor_faults_; }
+  /// Pages currently resident solely due to THP promotion (never touched).
+  std::uint64_t bloat_pages() const noexcept { return bloat_pages_; }
+  std::uint64_t huge_blocks() const noexcept { return huge_blocks_; }
+  /// Evictions split by dirtiness: dirty pages must be written to the swap
+  /// device, clean ones can be dropped (swap-cache hit) — the distinction
+  /// that matters on read/write-asymmetric devices (paper "Limitations").
+  std::uint64_t dirty_evictions() const noexcept { return dirty_evictions_; }
+  std::uint64_t clean_evictions() const noexcept { return clean_evictions_; }
+
+  /// Drops touch-log entries older than the monitoring horizon.
+  void MaintainLogs(SimTimeUs now);
+
+ private:
+  TouchStats FaultIn(Vma& vma, std::size_t page_idx, bool write, SimTimeUs now);
+  void MakeResident(Vma& vma, std::size_t page_idx, bool via_thp);
+  void MakeNonResident(Vma& vma, std::size_t page_idx);
+  bool BlockHasBloat(const Vma& vma, std::size_t block) const;
+
+  int id_;
+  Machine* machine_;
+  double zram_ratio_;
+  std::vector<Vma> vmas_;
+  std::uint64_t layout_gen_ = 0;
+  std::uint64_t mapped_bytes_ = 0;
+  std::uint64_t resident_pages_ = 0;
+  std::uint64_t swapped_pages_ = 0;
+  std::uint64_t bloat_pages_ = 0;
+  std::uint64_t huge_blocks_ = 0;
+  std::uint64_t major_faults_ = 0;
+  std::uint64_t minor_faults_ = 0;
+  std::uint64_t dirty_evictions_ = 0;
+  std::uint64_t clean_evictions_ = 0;
+};
+
+}  // namespace daos::sim

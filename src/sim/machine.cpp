@@ -1,0 +1,84 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "sim/address_space.hpp"
+#include "sim/reclaim.hpp"
+#include "sim/thp.hpp"
+
+namespace daos::sim {
+namespace {
+
+// kswapd watermarks as fractions of total DRAM.
+constexpr double kHighWatermark = 0.92;
+constexpr double kLowWatermark = 0.88;
+// Linux khugepaged defaults: scan 4096 pages every 10 s => 8 blocks / 10 s.
+constexpr SimTimeUs kKhugepagedPeriod = 10 * kUsPerSec;
+constexpr std::uint64_t kKhugepagedBlockBudget = 8;
+
+}  // namespace
+
+MachineSpec MachineSpec::GuestOf() const {
+  return MachineSpec{name + "-guest", vcpus / 2, cpu_ghz, dram_bytes / 4};
+}
+
+MachineSpec MachineSpec::I3Metal() {
+  return MachineSpec{"i3.metal", 36, 3.0, 128 * GiB};
+}
+
+MachineSpec MachineSpec::M5dMetal() {
+  return MachineSpec{"m5d.metal", 48, 3.1, 96 * GiB};
+}
+
+MachineSpec MachineSpec::Z1dMetal() {
+  return MachineSpec{"z1d.metal", 24, 4.0, 96 * GiB};
+}
+
+std::vector<MachineSpec> MachineSpec::AllBareMetal() {
+  return {I3Metal(), M5dMetal(), Z1dMetal()};
+}
+
+Machine::Machine(const MachineSpec& spec, const SwapConfig& swap, ThpMode thp)
+    : spec_(spec),
+      swap_(swap),
+      thp_mode_(thp),
+      reclaimer_(std::make_unique<Reclaimer>(this)) {}
+
+Machine::~Machine() = default;
+
+bool Machine::UnderPressure() const noexcept {
+  return static_cast<double>(dram_used_bytes()) >
+         kHighWatermark * static_cast<double>(spec_.dram_bytes);
+}
+
+void Machine::RegisterSpace(AddressSpace* space) { spaces_.push_back(space); }
+
+void Machine::UnregisterSpace(AddressSpace* space) {
+  spaces_.erase(std::remove(spaces_.begin(), spaces_.end(), space),
+                spaces_.end());
+}
+
+void Machine::RunReclaimIfNeeded(SimTimeUs now) {
+  if (!UnderPressure()) return;
+  const auto low =
+      static_cast<std::uint64_t>(kLowWatermark * static_cast<double>(spec_.dram_bytes));
+  const std::uint64_t used = dram_used_bytes();
+  if (used <= low) return;
+  const std::uint64_t target_pages = (used - low) / kPageSize + 1;
+  // Bounded scan per call: kswapd does incremental work, not a full sweep.
+  const std::uint64_t budget = std::min<std::uint64_t>(target_pages * 8, 1u << 18);
+  const std::uint64_t got = reclaimer_->Reclaim(target_pages, budget, now);
+  ++counters_.reclaim_scans;
+  counters_.reclaimed_pages += got;
+  if (got == 0) ++counters_.overcommit_events;
+}
+
+void Machine::RunKhugepaged(SimTimeUs now) {
+  if (thp_mode_ != ThpMode::kAlways) return;
+  if (now < next_khugepaged_) return;
+  next_khugepaged_ = now + kKhugepagedPeriod;
+  counters_.khugepaged_collapses +=
+      RunKhugepagedScan(*this, kKhugepagedBlockBudget, now);
+}
+
+}  // namespace daos::sim

@@ -1,0 +1,123 @@
+// The simulated machine: CPU/DRAM spec, frame accounting, swap device, THP
+// policy, and the baseline reclaimer hook.
+//
+// Machine specs mirror Table 2 of the paper (AWS EC2 bare-metal instance
+// types); `GuestOf()` derives the QEMU/KVM guest configuration the paper
+// actually runs workloads in (half the vCPUs, a quarter of the DRAM).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/swap.hpp"
+#include "util/types.hpp"
+
+namespace daos::sim {
+
+class AddressSpace;
+class Reclaimer;
+
+/// Hardware description (paper Table 2).
+struct MachineSpec {
+  std::string name;
+  int vcpus = 0;
+  double cpu_ghz = 0.0;
+  std::uint64_t dram_bytes = 0;
+
+  /// The paper's guest VM: half the CPUs, a quarter of the memory (§4).
+  MachineSpec GuestOf() const;
+
+  static MachineSpec I3Metal();   // 3.0 GHz x 36 vCPU, 128 GiB
+  static MachineSpec M5dMetal();  // 3.1 GHz x 48 vCPU,  96 GiB
+  static MachineSpec Z1dMetal();  // 4.0 GHz x 24 vCPU,  96 GiB
+  static std::vector<MachineSpec> AllBareMetal();
+};
+
+enum class ThpMode : std::uint8_t {
+  kNever,   // baseline configuration: THP off
+  kAlways,  // Linux-original aggressive THP ("thp" configuration)
+};
+
+/// Fault and hardware cost constants, scaled by CPU speed where appropriate.
+struct CostModel {
+  double minor_fault_us = 1.2;      // allocate + zero one 4 KiB page
+  double huge_fault_extra_us = 45;  // zeroing a whole 2 MiB page (latency spike)
+  double monitor_check_us = 0.07;   // one PTE accessed-bit sample (vaddr)
+  double monitor_check_paddr_us = 0.09;  // one rmap walk + check (paddr)
+  // Workload-side interference per monitor sample: clearing an accessed
+  // bit on an active mm costs a TLB shootdown (~1 µs). Scaled by the
+  // workload's memory-boundness when charged.
+  double monitor_interference_us = 1.0;
+};
+
+struct MachineCounters {
+  std::uint64_t reclaimed_pages = 0;
+  std::uint64_t reclaim_scans = 0;
+  std::uint64_t failed_evictions = 0;  // swap full / no device
+  std::uint64_t khugepaged_collapses = 0;
+  std::uint64_t overcommit_events = 0;
+};
+
+class Machine {
+ public:
+  Machine(const MachineSpec& spec, const SwapConfig& swap,
+          ThpMode thp = ThpMode::kNever);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineSpec& spec() const noexcept { return spec_; }
+  const CostModel& costs() const noexcept { return costs_; }
+  SwapDevice& swap() noexcept { return swap_; }
+  const SwapDevice& swap() const noexcept { return swap_; }
+  ThpMode thp_mode() const noexcept { return thp_mode_; }
+  void set_thp_mode(ThpMode m) noexcept { thp_mode_ = m; }
+
+  /// Relative CPU speed vs. the 3.0 GHz i3.metal reference.
+  double cpu_speed() const noexcept { return spec_.cpu_ghz / 3.0; }
+
+  // --- frame accounting ------------------------------------------------------
+  void ChargeFrames(std::uint64_t pages) noexcept { used_frames_ += pages; }
+  void UnchargeFrames(std::uint64_t pages) noexcept {
+    used_frames_ -= pages > used_frames_ ? used_frames_ : pages;
+  }
+  std::uint64_t used_frames() const noexcept { return used_frames_; }
+  /// Total DRAM in use: resident frames plus zram's compressed footprint.
+  std::uint64_t dram_used_bytes() const noexcept {
+    return used_frames_ * kPageSize + swap_.dram_bytes();
+  }
+  std::uint64_t dram_capacity() const noexcept { return spec_.dram_bytes; }
+  bool UnderPressure() const noexcept;
+
+  // --- address space registry (the rmap analogue) -----------------------------
+  void RegisterSpace(AddressSpace* space);
+  void UnregisterSpace(AddressSpace* space);
+  const std::vector<AddressSpace*>& spaces() const noexcept { return spaces_; }
+
+  // --- background kernel work (driven by System each quantum) ----------------
+  /// kswapd: if above the high watermark, evicts cold pages until below the
+  /// low watermark (bounded per call).
+  void RunReclaimIfNeeded(SimTimeUs now);
+  /// khugepaged: slow background collapse of partially-resident blocks when
+  /// THP is in `always` mode. Models the Linux default scan rate.
+  void RunKhugepaged(SimTimeUs now);
+
+  MachineCounters& counters() noexcept { return counters_; }
+  const MachineCounters& counters() const noexcept { return counters_; }
+
+ private:
+  MachineSpec spec_;
+  CostModel costs_;
+  SwapDevice swap_;
+  ThpMode thp_mode_;
+  std::uint64_t used_frames_ = 0;
+  std::vector<AddressSpace*> spaces_;
+  std::unique_ptr<Reclaimer> reclaimer_;
+  SimTimeUs next_khugepaged_ = 0;
+  MachineCounters counters_;
+};
+
+}  // namespace daos::sim

@@ -1,0 +1,51 @@
+// Per-page state of the simulated memory subsystem.
+//
+// A Page models exactly the bits DAOS interacts with in a real kernel:
+// present/swapped state, the PTE accessed bit the monitor samples, a dirty
+// bit, huge-mapping membership, and the recency info the baseline reclaimer
+// (our two-list LRU stand-in) uses. The struct is kept at 16 bytes because
+// large workloads map tens of millions of pages.
+#pragma once
+
+#include <cstdint>
+
+namespace daos::sim {
+
+struct Page {
+  enum Flags : std::uint8_t {
+    kPresent = 1u << 0,      // resident in DRAM
+    kAccessed = 1u << 1,     // PTE accessed bit (set on touch, cleared by monitor)
+    kDirty = 1u << 2,        // written since last swap-out
+    kHuge = 1u << 3,         // part of a 2 MiB huge mapping
+    kSwapped = 1u << 4,      // contents live on a swap device
+    kEverTouched = 1u << 5,  // workload actually accessed it at least once
+    kDeactivated = 1u << 6,  // DAMOS COLD: first in line for reclaim
+    kHugeBloat = 1u << 7,    // became resident only via THP promotion
+  };
+
+  std::uint8_t flags = 0;
+  std::uint8_t reclaim_gen = 0;   // CLOCK second-chance counter
+  std::uint16_t reserved = 0;
+  // Simulated milliseconds of the most recent direct touch and of the most
+  // recent accessed-bit clearing (monitor MkOld). Range touches are kept in
+  // the VMA touch log instead; IsYoung() consults both.
+  std::uint32_t last_touch_ms = 0;
+  std::uint32_t acc_cleared_ms = 0;
+  std::uint32_t pad = 0;
+
+  bool Present() const noexcept { return flags & kPresent; }
+  bool Accessed() const noexcept { return flags & kAccessed; }
+  bool Dirty() const noexcept { return flags & kDirty; }
+  bool Huge() const noexcept { return flags & kHuge; }
+  bool Swapped() const noexcept { return flags & kSwapped; }
+  bool EverTouched() const noexcept { return flags & kEverTouched; }
+  bool Deactivated() const noexcept { return flags & kDeactivated; }
+  bool HugeBloat() const noexcept { return flags & kHugeBloat; }
+
+  void Set(Flags f) noexcept { flags |= f; }
+  void Clear(Flags f) noexcept { flags &= static_cast<std::uint8_t>(~f); }
+};
+
+static_assert(sizeof(Page) == 16, "Page must stay compact");
+
+}  // namespace daos::sim

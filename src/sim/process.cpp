@@ -1,0 +1,83 @@
+#include "sim/process.hpp"
+
+#include <algorithm>
+
+#include "sim/machine.hpp"
+
+namespace daos::sim {
+
+Process::Process(ProcessParams params, Machine* machine, int pid,
+                 std::unique_ptr<AccessSource> source)
+    : params_(std::move(params)),
+      machine_(machine),
+      pid_(pid),
+      space_(pid, machine, params_.zram_ratio),
+      source_(std::move(source)) {}
+
+bool Process::RunQuantum(SimTimeUs now, SimTimeUs quantum) {
+  if (finished_) return false;
+  if (!started_) {
+    started_ = true;
+    started_at_ = now;
+  }
+  if (!layout_built_) {
+    source_->BuildLayout(space_);
+    layout_built_ = true;
+  }
+
+  // Stall debt from earlier faults eats into this quantum first; the
+  // process only executes (and therefore only issues new accesses) for the
+  // remaining share. This makes thrashing self-limiting, as in reality: a
+  // stalled process sweeps its data more slowly.
+  const double q = static_cast<double>(quantum);
+  const double consumed = std::min(q, stall_debt_us_);
+  stall_debt_us_ -= consumed;
+  const auto effective =
+      static_cast<SimTimeUs>(q - consumed);
+
+  TouchStats st;
+  if (effective > 0) {
+    st = source_->EmitQuantum(space_, now, effective);
+    stall_debt_us_ += st.stall_us;
+    total_stall_us_ += st.stall_us;
+  }
+
+  const double huge_frac =
+      st.pages > 0 ? static_cast<double>(st.huge_pages) /
+                         static_cast<double>(st.pages)
+                   : 0.0;
+  const double speed =
+      machine_->cpu_speed() * (1.0 + params_.thp_gain * huge_frac);
+  work_done_us_ += static_cast<double>(effective) * speed;
+
+  const std::uint64_t rss = space_.resident_bytes();
+  rss_integral_bytes_us_ += static_cast<double>(rss) * q;
+  peak_rss_ = std::max(peak_rss_, rss);
+
+  if (!params_.run_forever && work_done_us_ >= params_.total_work_us) {
+    finished_ = true;
+    finish_time_ = now + quantum;
+    return true;
+  }
+  return false;
+}
+
+ProcessMetrics Process::Metrics(SimTimeUs now) const {
+  ProcessMetrics m;
+  const SimTimeUs end = finished_ ? finish_time_ : now;
+  const SimTimeUs elapsed = end > started_at_ ? end - started_at_ : 0;
+  m.runtime_s = static_cast<double>(elapsed) / kUsPerSec;
+  m.finished = finished_;
+  m.avg_rss_bytes = elapsed > 0
+                        ? rss_integral_bytes_us_ / static_cast<double>(elapsed)
+                        : 0.0;
+  m.peak_rss_bytes = peak_rss_;
+  m.final_rss_bytes = space_.resident_bytes();
+  m.major_faults = space_.major_faults();
+  m.minor_faults = space_.minor_faults();
+  m.stall_s = total_stall_us_ / kUsPerSec;
+  m.interference_s = interference_us_ / kUsPerSec;
+  return m;
+}
+
+}  // namespace daos::sim

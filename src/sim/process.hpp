@@ -1,0 +1,114 @@
+// Simulated processes: an address space driven by an access source, with a
+// simple but explicit performance model.
+//
+// A process has `total_work_us` of CPU work to execute (calibrated at the
+// 3.0 GHz i3.metal reference with THP off). Each scheduler quantum its
+// access source emits page touches; fault latencies accumulate as stall
+// debt that eats into the quantum, and huge-page-backed touches speed
+// execution up by up to `thp_gain` (the dTLB effect the paper's THP results
+// rest on). Runtime is therefore
+//     total_work / (cpu_speed * thp_speedup) + stalls,
+// which is exactly the trade-off DAMOS schemes navigate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/address_space.hpp"
+#include "util/types.hpp"
+
+namespace daos::sim {
+
+class Machine;
+
+/// Generates the page touches of one process. Implemented by the workload
+/// library; the simulator only sees this interface.
+class AccessSource {
+ public:
+  virtual ~AccessSource() = default;
+
+  /// Called once before the first quantum; maps the process's VMAs.
+  virtual void BuildLayout(AddressSpace& space) = 0;
+
+  /// Emits this quantum's touches directly against the space and returns
+  /// the aggregated stats. May also mmap/munmap (layout-change events).
+  virtual TouchStats EmitQuantum(AddressSpace& space, SimTimeUs now,
+                                 SimTimeUs quantum) = 0;
+};
+
+struct ProcessParams {
+  std::string name;
+  /// Total CPU work in reference-microseconds. A value of 60e6 means the
+  /// process runs for 60 s on the reference machine with no stalls.
+  double total_work_us = 0;
+  /// How strongly memory-system interference (monitor sampling overhead)
+  /// translates into slowdown for this process, in [0, 1].
+  double mem_boundness = 0.5;
+  /// Maximum fractional speedup when the touched set is huge-page backed.
+  double thp_gain = 0.0;
+  /// zram compressibility of this process's pages (original/compressed).
+  double zram_ratio = 3.0;
+  /// If true the process never finishes (servers, §4.4); metrics are
+  /// collected until the run's time limit.
+  bool run_forever = false;
+};
+
+struct ProcessMetrics {
+  double runtime_s = 0.0;           // completion time (or elapsed if unfinished)
+  bool finished = false;
+  double avg_rss_bytes = 0.0;       // time-averaged RSS over the process life
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t final_rss_bytes = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t minor_faults = 0;
+  double stall_s = 0.0;             // total fault stall absorbed
+  double interference_s = 0.0;      // stall injected by monitoring overhead
+};
+
+class Process {
+ public:
+  Process(ProcessParams params, Machine* machine, int pid,
+          std::unique_ptr<AccessSource> source);
+
+  int pid() const noexcept { return pid_; }
+  const std::string& name() const noexcept { return params_.name; }
+  const ProcessParams& params() const noexcept { return params_; }
+  AddressSpace& space() noexcept { return space_; }
+  const AddressSpace& space() const noexcept { return space_; }
+  bool finished() const noexcept { return finished_; }
+
+  /// Reads the process's RSS the way the paper's runtime reads procfs.
+  std::uint64_t ReadRssBytes() const noexcept { return space_.resident_bytes(); }
+
+  /// Injects stall time from outside the process (monitor interference).
+  void AddInterference(double us) noexcept {
+    stall_debt_us_ += us * params_.mem_boundness;
+    interference_us_ += us * params_.mem_boundness;
+  }
+
+  /// Runs one scheduler quantum; returns true if the process just finished.
+  bool RunQuantum(SimTimeUs now, SimTimeUs quantum);
+
+  ProcessMetrics Metrics(SimTimeUs now) const;
+
+ private:
+  ProcessParams params_;
+  Machine* machine_;
+  int pid_;
+  AddressSpace space_;
+  std::unique_ptr<AccessSource> source_;
+  bool layout_built_ = false;
+  bool finished_ = false;
+  SimTimeUs finish_time_ = 0;
+  SimTimeUs started_at_ = 0;
+  bool started_ = false;
+  double work_done_us_ = 0.0;
+  double stall_debt_us_ = 0.0;
+  double total_stall_us_ = 0.0;
+  double interference_us_ = 0.0;
+  double rss_integral_bytes_us_ = 0.0;
+  std::uint64_t peak_rss_ = 0;
+};
+
+}  // namespace daos::sim

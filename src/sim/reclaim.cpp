@@ -1,0 +1,61 @@
+#include "sim/reclaim.hpp"
+
+#include "sim/address_space.hpp"
+#include "sim/machine.hpp"
+
+namespace daos::sim {
+
+std::uint64_t Reclaimer::Reclaim(std::uint64_t target_pages,
+                                 std::uint64_t scan_budget, SimTimeUs now) {
+  const auto& spaces = machine_->spaces();
+  if (spaces.empty()) return 0;
+  std::uint64_t evicted = 0;
+
+  for (std::uint64_t scanned = 0;
+       scanned < scan_budget && evicted < target_pages; ++scanned) {
+    if (space_cursor_ >= spaces.size()) space_cursor_ = 0;
+    AddressSpace* space = spaces[space_cursor_];
+    auto& vmas = space->vmas();
+    if (vmas.empty() || vma_cursor_ >= vmas.size()) {
+      vma_cursor_ = 0;
+      page_cursor_ = 0;
+      ++space_cursor_;
+      if (vmas.empty()) continue;
+      if (space_cursor_ >= spaces.size()) space_cursor_ = 0;
+      space = spaces[space_cursor_];
+      if (space->vmas().empty()) continue;
+    }
+    Vma& vma = space->vmas()[vma_cursor_];
+    if (page_cursor_ >= vma.page_count()) {
+      page_cursor_ = 0;
+      ++vma_cursor_;
+      continue;
+    }
+    const std::size_t idx = page_cursor_++;
+    Page& pg = vma.PageAt(vma.AddrOfIndex(idx));
+    if (!pg.Present() || pg.Huge()) continue;
+
+    const Addr addr = vma.AddrOfIndex(idx);
+    if (pg.Deactivated()) {
+      // DAMOS COLD regions go first, no second chance.
+      if (space->EvictPage(vma, idx)) ++evicted;
+      continue;
+    }
+    if (space->IsYoung(addr)) {
+      // Second chance: clear the accessed state and move on (CLOCK).
+      space->MkOld(addr, now);
+      pg.reclaim_gen = 0;
+      continue;
+    }
+    if (pg.reclaim_gen < 1) {
+      // Inactive-list probation: evict only on the next encounter if still
+      // untouched (two-list behaviour).
+      ++pg.reclaim_gen;
+      continue;
+    }
+    if (space->EvictPage(vma, idx)) ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace daos::sim

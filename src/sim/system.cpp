@@ -1,0 +1,76 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+namespace daos::sim {
+
+System::System(const MachineSpec& spec, const SwapConfig& swap, ThpMode thp,
+               SimTimeUs quantum)
+    : machine_(spec, swap, thp), quantum_(quantum) {}
+
+Process& System::AddProcess(ProcessParams params,
+                            std::unique_ptr<AccessSource> source) {
+  processes_.push_back(std::make_unique<Process>(
+      std::move(params), &machine_, next_pid_++, std::move(source)));
+  return *processes_.back();
+}
+
+void System::Step() {
+  const SimTimeUs now = clock_.Now();
+
+  for (auto& proc : processes_) proc->RunQuantum(now, quantum_);
+
+  double interference_us = 0.0;
+  for (Daemon& daemon : daemons_) interference_us += daemon(now, quantum_);
+  if (interference_us > 0.0) {
+    // Monitoring interference (TLB shootdowns from accessed-bit clearing)
+    // hits whichever processes are running; distribute evenly.
+    std::size_t active = 0;
+    for (auto& proc : processes_)
+      if (!proc->finished()) ++active;
+    if (active > 0) {
+      const double share = interference_us / static_cast<double>(active);
+      for (auto& proc : processes_)
+        if (!proc->finished()) proc->AddInterference(share);
+    }
+  }
+
+  machine_.RunKhugepaged(now);
+  machine_.RunReclaimIfNeeded(now);
+
+  if (now >= next_log_gc_) {
+    next_log_gc_ = now + kUsPerSec;
+    for (AddressSpace* space : machine_.spaces()) space->MaintainLogs(now);
+  }
+
+  clock_.Advance(quantum_);
+}
+
+SystemMetrics System::Run(SimTimeUs max_time) {
+  const SimTimeUs deadline = clock_.Now() + max_time;
+  // Stop early only when every *finite* process finished; a system of pure
+  // servers (run_forever) runs to the deadline.
+  auto finite_all_done = [this] {
+    bool any_finite = false;
+    for (const auto& p : processes_) {
+      if (p->params().run_forever) continue;
+      any_finite = true;
+      if (!p->finished()) return false;
+    }
+    return any_finite;
+  };
+  while (clock_.Now() < deadline && !finite_all_done()) {
+    Step();
+  }
+
+  SystemMetrics m;
+  m.elapsed_s = static_cast<double>(clock_.Now()) / kUsPerSec;
+  for (auto& proc : processes_) m.processes.push_back(proc->Metrics(clock_.Now()));
+  m.reclaimed_pages = machine_.counters().reclaimed_pages;
+  m.swap_ins = machine_.swap().total_ins();
+  m.swap_outs = machine_.swap().total_outs();
+  m.swap_used_slots = machine_.swap().used_slots();
+  return m;
+}
+
+}  // namespace daos::sim

@@ -1,0 +1,25 @@
+#include "sim/thp.hpp"
+
+#include "sim/address_space.hpp"
+#include "sim/machine.hpp"
+
+namespace daos::sim {
+
+std::uint64_t RunKhugepagedScan(Machine& machine, std::uint64_t block_budget,
+                                SimTimeUs now) {
+  std::uint64_t collapses = 0;
+  for (AddressSpace* space : machine.spaces()) {
+    for (Vma& vma : space->vmas()) {
+      for (std::size_t b = 0; b < vma.block_count(); ++b) {
+        if (collapses >= block_budget) return collapses;
+        const Vma::Block& blk = vma.block(b);
+        if (blk.huge || blk.resident == 0 || !vma.BlockIsFull(b)) continue;
+        if (space->PromoteBlock(vma, b, now) > 0 || vma.block(b).huge)
+          ++collapses;
+      }
+    }
+  }
+  return collapses;
+}
+
+}  // namespace daos::sim

@@ -1,0 +1,24 @@
+// khugepaged-style background collapse for THP `always` mode.
+//
+// The Linux fault path only allocates a huge page when a fault lands in a
+// completely empty, fully-mapped 2 MiB block; khugepaged later collapses
+// blocks that became partially resident (after swap-in, sparse touching,
+// ...). Its default scan rate is slow, which we preserve — the paper's THP
+// memory bloat primarily comes from the aggressive fault path.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace daos::sim {
+
+class Machine;
+
+/// Scans registered address spaces round-robin and collapses up to
+/// `block_budget` partially-resident, fully-mapped, non-huge blocks into
+/// huge mappings. Returns the number of collapses performed.
+std::uint64_t RunKhugepagedScan(Machine& machine, std::uint64_t block_budget,
+                                SimTimeUs now);
+
+}  // namespace daos::sim

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in DAOS that needs randomness (region-split points, sample-page
+// selection, workload access draws, tuner sampling plans) pulls from an
+// explicitly seeded Xoshiro256** instance so runs are bit-reproducible.
+// std::mt19937 is avoided because its stream is not guaranteed identical
+// across standard-library implementations for distributions; we implement
+// the few draws we need directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace daos {
+
+/// SplitMix64: used to expand a single seed into Xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality, tiny-state generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'da05'5eed'da05ULL) noexcept {
+    Reseed(seed);
+  }
+
+  void Reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0. Uses Lemire reduction.
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the distribution unbiased enough for
+    // simulation purposes (bias < 2^-64 per draw).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p) noexcept { return NextDouble() < p; }
+
+  /// Approximately Zipf-distributed rank in [0, n) with exponent s.
+  /// Implemented by inverse-CDF on the continuous approximation, which is
+  /// accurate enough for workload shaping and O(1) per draw.
+  std::uint64_t NextZipf(std::uint64_t n, double s) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Fork a child generator with an independent stream. Used so that
+  /// per-subsystem randomness does not perturb other subsystems when one
+  /// of them changes its number of draws.
+  Rng Fork() noexcept { return Rng(NextU64() ^ 0xa5a5'5a5a'dead'beefULL); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace daos

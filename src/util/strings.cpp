@@ -1,0 +1,62 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace daos {
+
+std::vector<std::string_view> SplitWhitespace(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    std::size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitChar(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  std::size_t b = 0;
+  while (b < text.size() && std::isspace(static_cast<unsigned char>(text[b])))
+    ++b;
+  std::size_t e = text.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+std::string_view StripComment(std::string_view line) {
+  const std::size_t pos = line.find('#');
+  if (pos == std::string_view::npos) return line;
+  return line.substr(0, pos);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text)
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace daos

@@ -1,0 +1,26 @@
+// Minimal string utilities shared across modules (tokenizing scheme text,
+// trimming config lines, case folding keywords).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace daos {
+
+/// Splits on any run of whitespace; no empty tokens.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Splits on a single character delimiter; keeps empty fields.
+std::vector<std::string_view> SplitChar(std::string_view text, char delim);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Strips a trailing "# comment" (first unescaped '#') from a line.
+std::string_view StripComment(std::string_view line);
+
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace daos

@@ -1,0 +1,39 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+
+namespace daos::workload {
+
+std::uint64_t WorkloadProfile::HotBytes() const {
+  double frac = 0.0;
+  for (const GroupSpec& g : groups) {
+    if (g.period_s == 0.0) frac += g.size_frac * g.density;
+  }
+  return static_cast<std::uint64_t>(frac * static_cast<double>(data_bytes));
+}
+
+std::uint64_t WorkloadProfile::ExpectedRssBytes() const {
+  double frac = 0.0;
+  for (const GroupSpec& g : groups) frac += g.size_frac * g.density;
+  return static_cast<std::uint64_t>(frac * static_cast<double>(data_bytes));
+}
+
+const WorkloadProfile* FindProfile(std::string_view name) {
+  for (const WorkloadProfile& p : AllProfiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Figure4Names() {
+  return {
+      "parsec3/blackscholes", "parsec3/bodytrack",  "parsec3/dedup",
+      "parsec3/fluidanimate", "parsec3/raytrace",   "parsec3/streamcluster",
+      "parsec3/canneal",      "parsec3/x264",       "splash2x/barnes",
+      "splash2x/fft",         "splash2x/lu_ncb",    "splash2x/ocean_cp",
+      "splash2x/ocean_ncp",   "splash2x/radix",     "splash2x/raytrace",
+      "splash2x/water_nsquared",
+  };
+}
+
+}  // namespace daos::workload

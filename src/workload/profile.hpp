@@ -1,0 +1,75 @@
+// Workload profiles: synthetic stand-ins for the Parsec3 / Splash-2x
+// benchmarks of the paper's evaluation (§4).
+//
+// The monitor and the schemes engine only ever observe a stream of page
+// touches, so a workload is fully characterized here by (a) its address
+// space layout, (b) a set of page groups with distinct re-reference
+// periods and densities, and (c) a dynamic pattern that moves the hot set
+// around. Group parameters are shaped to reproduce the access-pattern
+// heatmaps of Figure 6 and the THP/reclaim trade-offs of Figure 7 —
+// qualitatively, which is what the reproduction targets (the absolute
+// testbed numbers are unreachable without the authors' hardware).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace daos::workload {
+
+enum class PatternKind : std::uint8_t {
+  kStatic,  // hot window fixed for the whole run
+  kScan,    // hot window slides over its group and wraps (sweep)
+  kPhased,  // hot window jumps to a new position every phase
+};
+
+/// A set of pages with a shared re-reference behaviour.
+struct GroupSpec {
+  /// Fraction of the data area occupied by this group.
+  double size_frac = 0.0;
+  /// Seconds between full re-touches of the group; 0 means "hot": touched
+  /// every quantum. Negative means touched only once at startup (pure
+  /// cold — the memory the paper's prcl scheme reclaims for free).
+  double period_s = 0.0;
+  /// Fraction of each 2 MiB block the workload actually uses. Sparse
+  /// groups are where Linux-default THP manufactures memory bloat.
+  double density = 1.0;
+  /// Fraction of touches that are writes.
+  double write_frac = 0.3;
+};
+
+struct WorkloadProfile {
+  std::string name;    // "parsec3/freqmine"
+  std::string suite;   // "parsec3" | "splash2x"
+
+  std::uint64_t data_bytes = 0;   // size of the main data area
+  double runtime_s = 120.0;       // nominal runtime at the 3 GHz reference
+  double mem_boundness = 0.5;     // sensitivity to monitoring interference
+  double thp_gain = 0.05;         // max speedup when hot data is huge-backed
+  double zram_ratio = 3.0;        // compressibility on zram
+  double noise = 0.01;            // run-to-run runtime noise (stddev frac)
+
+  PatternKind pattern = PatternKind::kStatic;
+  double phase_period_s = 20.0;   // kScan: sweep period; kPhased: jump period
+  std::vector<GroupSpec> groups;  // group 0 is the hot group by convention
+
+  /// Extra single-page touches per second, Zipf-distributed over the hot
+  /// group (adds realistic jitter the range sweeps cannot produce).
+  double zipf_touches_per_s = 24000.0;
+  double zipf_exponent = 0.9;
+
+  std::uint64_t HotBytes() const;
+  /// The RSS the workload reaches with THP off (density-weighted).
+  std::uint64_t ExpectedRssBytes() const;
+};
+
+/// All 24 evaluation workloads (12 Parsec3 + 12 Splash-2x).
+const std::vector<WorkloadProfile>& AllProfiles();
+/// Looks a profile up by full name ("splash2x/ocean_ncp"); null if absent.
+const WorkloadProfile* FindProfile(std::string_view name);
+/// The 16 workloads plotted in Figure 4 (space constraints dropped 8).
+std::vector<std::string> Figure4Names();
+
+}  // namespace daos::workload

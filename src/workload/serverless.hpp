@@ -1,0 +1,45 @@
+// The production serverless workload of paper §4.4: a fleet of server
+// processes whose resident sets exceed their working sets by ~90 %. This is
+// the Figure 9 experiment: a hand-crafted 30-second PAGEOUT scheme trims
+// the bloat, and the achievable trim depends on the swap backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+
+namespace daos::workload {
+
+struct ServerlessConfig {
+  int nr_processes = 8;
+  std::uint64_t rss_per_process = 2 * GiB;
+  /// Fraction of the RSS that is actually the working set (paper: ~10 %).
+  double working_set_frac = 0.10;
+  /// Mean seconds between touches of a random cold page (rare lookups).
+  double cold_touch_period_s = 120.0;
+  double zram_ratio = 3.0;
+};
+
+/// Access source for one server process. Runs forever: touches its working
+/// set continuously and a random stray cold page now and then.
+class ServerSource final : public sim::AccessSource {
+ public:
+  ServerSource(const ServerlessConfig& config, std::uint64_t seed);
+
+  void BuildLayout(sim::AddressSpace& space) override;
+  sim::TouchStats EmitQuantum(sim::AddressSpace& space, SimTimeUs now,
+                              SimTimeUs quantum) override;
+
+ private:
+  ServerlessConfig config_;
+  Rng rng_;
+  bool populated_ = false;
+  Addr base_ = 0x2000'0000ULL;
+};
+
+/// Process parameters for one server of the fleet.
+sim::ProcessParams ServerParams(const ServerlessConfig& config, int index);
+
+}  // namespace daos::workload

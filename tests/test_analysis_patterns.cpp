@@ -1,0 +1,135 @@
+#include "analysis/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace daos::analysis {
+namespace {
+
+TEST(ClassifyTest, Rising) {
+  const std::vector<double> s{0, 3, 6, 10, 14, 18};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kRising);
+}
+
+TEST(ClassifyTest, Falling) {
+  const std::vector<double> s{0, -3, -8, -15, -22, -30};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kFalling);
+}
+
+TEST(ClassifyTest, PeakEndsPositive) {
+  const std::vector<double> s{0, 8, 15, 18, 12, 6};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kPeakEndsPositive);
+}
+
+TEST(ClassifyTest, PeakEndsNegative) {
+  const std::vector<double> s{0, 8, 15, 10, -5, -12};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kPeakEndsNegative);
+}
+
+TEST(ClassifyTest, ValleyEndsNegative) {
+  const std::vector<double> s{0, -8, -15, -18, -10, -4};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kValleyEndsNegative);
+}
+
+TEST(ClassifyTest, ValleyEndsPositive) {
+  const std::vector<double> s{0, -8, -15, -10, 2, 6};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kValleyEndsPositive);
+}
+
+TEST(ClassifyTest, FlatWithinTolerance) {
+  const std::vector<double> s{0, 0.3, -0.2, 0.4, 0.1};
+  EXPECT_EQ(ClassifyScores(s, /*tolerance=*/1.0), ScorePattern::kFlat);
+}
+
+TEST(ClassifyTest, TooShortIsFlat) {
+  const std::vector<double> s{0, 5};
+  EXPECT_EQ(ClassifyScores(s), ScorePattern::kFlat);
+}
+
+TEST(ClassifyTest, NoiseDoesNotCreateFakePeaks) {
+  // Monotonic rise with one noisy dip must still classify as rising.
+  const std::vector<double> s{0, 3, 6, 5.4, 9, 12, 15};
+  EXPECT_EQ(ClassifyScores(s, 1.0), ScorePattern::kRising);
+}
+
+TEST(ClassifyTest, NamesAllDistinct) {
+  std::set<std::string_view> names;
+  for (ScorePattern p :
+       {ScorePattern::kRising, ScorePattern::kPeakEndsPositive,
+        ScorePattern::kPeakEndsNegative, ScorePattern::kFalling,
+        ScorePattern::kValleyEndsNegative, ScorePattern::kValleyEndsPositive,
+        ScorePattern::kFlat}) {
+    names.insert(ScorePatternName(p));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(AggressivenessModelTest, PerformanceMonotonicallyDecreases) {
+  const AggressivenessModel m;
+  double prev = m.Performance(0.0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (double x = 0.05; x <= 1.0; x += 0.05) {
+    const double v = m.Performance(x);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+  EXPECT_NEAR(m.Performance(1.0), 1.0 - m.perf_drop, 1e-9);
+}
+
+TEST(AggressivenessModelTest, EfficiencyMonotonicallyIncreases) {
+  const AggressivenessModel m;
+  double prev = m.MemoryEfficiency(0.0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (double x = 0.05; x <= 1.0; x += 0.05) {
+    const double v = m.MemoryEfficiency(x);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(AggressivenessModelTest, SteepestDropInsideThrashingWindow) {
+  const AggressivenessModel m;
+  auto slope = [&](double x) {
+    return (m.Performance(x + 0.01) - m.Performance(x - 0.01)) / 0.02;
+  };
+  const double mid = (m.perf_knee1 + m.perf_knee2) / 2;
+  EXPECT_LT(slope(mid), slope(m.perf_knee1 / 2));   // steeper (more negative)
+  EXPECT_LT(slope(mid), slope(0.95));
+}
+
+TEST(AggressivenessModelTest, ScoreZeroAtZeroAggressiveness) {
+  const AggressivenessModel m;
+  EXPECT_NEAR(m.Score(0.0), 0.0, 1e-9);
+}
+
+TEST(AggressivenessModelTest, DefaultModelProducesPattern2) {
+  // With the default knees the score rises (cheap savings) then falls
+  // (thrashing) — the paper's second pattern.
+  const AggressivenessModel m;
+  std::vector<double> scores;
+  for (double x = 0.0; x <= 1.0; x += 0.05) scores.push_back(m.Score(x));
+  const ScorePattern p = ClassifyScores(scores);
+  EXPECT_TRUE(p == ScorePattern::kPeakEndsPositive ||
+              p == ScorePattern::kPeakEndsNegative);
+}
+
+TEST(AggressivenessModelTest, ParameterSweepCoversMultiplePatterns) {
+  // Varying the knees/drops must reproduce several of the 6 shapes — the
+  // §3.4 claim that patterns depend on workload and hardware.
+  std::set<ScorePattern> seen;
+  for (double drop : {0.05, 0.3, 0.9}) {
+    for (double gain : {0.1, 0.5, 0.9}) {
+      AggressivenessModel m;
+      m.perf_drop = drop;
+      m.mem_gain = gain;
+      std::vector<double> scores;
+      for (double x = 0.0; x <= 1.0; x += 0.04) scores.push_back(m.Score(x));
+      seen.insert(ClassifyScores(scores));
+    }
+  }
+  EXPECT_GE(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace daos::analysis

@@ -1,0 +1,154 @@
+#include "autotune/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace daos::autotune {
+namespace {
+
+TEST(PolyfitTest, ExactLinearFit) {
+  const std::vector<double> xs{0, 1, 2, 3, 4};
+  const std::vector<double> ys{1, 3, 5, 7, 9};  // y = 2x + 1
+  const Polynomial p = FitPolynomial(xs, ys, 1);
+  ASSERT_TRUE(p.Valid());
+  for (double x : xs) EXPECT_NEAR(p.Evaluate(x), 2 * x + 1, 1e-9);
+  EXPECT_NEAR(p.Evaluate(10), 21, 1e-6);
+}
+
+TEST(PolyfitTest, ExactQuadraticFit) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i;
+    xs.push_back(x);
+    ys.push_back(3 * x * x - 2 * x + 5);
+  }
+  const Polynomial p = FitPolynomial(xs, ys, 2);
+  ASSERT_TRUE(p.Valid());
+  EXPECT_NEAR(p.Evaluate(4.5), 3 * 4.5 * 4.5 - 2 * 4.5 + 5, 1e-6);
+}
+
+TEST(PolyfitTest, DegreeClampedToPoints) {
+  const std::vector<double> xs{0, 1, 2};
+  const std::vector<double> ys{0, 1, 4};
+  const Polynomial p = FitPolynomial(xs, ys, 10);
+  ASSERT_TRUE(p.Valid());
+  EXPECT_LE(p.Degree(), 2u);
+}
+
+TEST(PolyfitTest, TooFewPointsInvalid) {
+  const std::vector<double> xs{1};
+  const std::vector<double> ys{1};
+  EXPECT_FALSE(FitPolynomial(xs, ys, 1).Valid());
+  EXPECT_FALSE(FitPolynomial({}, {}, 1).Valid());
+}
+
+TEST(PolyfitTest, NoisyFitRecoversTrend) {
+  Rng rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 60; ++i) {
+    const double x = i;
+    const double noise = (rng.NextDouble() - 0.5) * 2.0;
+    xs.push_back(x);
+    ys.push_back(-0.02 * (x - 20) * (x - 20) + 25 + noise);  // peak at 20
+  }
+  const Polynomial p = FitPolynomial(xs, ys, 3);
+  ASSERT_TRUE(p.Valid());
+  const auto peaks = FindPeaks(p, 0, 60);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks.front().x, 20.0, 4.0);
+  EXPECT_NEAR(peaks.front().value, 25.0, 3.0);
+}
+
+TEST(PolyfitTest, DerivativeMatchesAnalytic) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(i * i);  // y' = 2x
+  }
+  const Polynomial p = FitPolynomial(xs, ys, 2);
+  EXPECT_NEAR(p.Derivative(3.0), 6.0, 1e-6);
+  EXPECT_NEAR(p.Derivative(0.0), 0.0, 1e-6);
+}
+
+TEST(FindPeaksTest, MonotonicPicksEndpoint) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{0, 1, 2, 3};
+  const Polynomial p = FitPolynomial(xs, ys, 1);
+  const auto peaks = FindPeaks(p, 0, 3);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_DOUBLE_EQ(peaks.front().x, 3.0);
+}
+
+TEST(FindPeaksTest, DecreasingPicksLeftEndpoint) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{9, 6, 3, 0};
+  const Polynomial p = FitPolynomial(xs, ys, 1);
+  const auto peaks = FindPeaks(p, 0, 3);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_DOUBLE_EQ(peaks.front().x, 0.0);
+}
+
+TEST(FindPeaksTest, SortedByValue) {
+  // Quartic with two local maxima of different heights.
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 10.0;
+    xs.push_back(x);
+    // Peaks near x=2 (height ~4) and x=8 (height ~2).
+    ys.push_back(4 * std::exp(-(x - 2) * (x - 2)) +
+                 2 * std::exp(-(x - 8) * (x - 8)));
+  }
+  const Polynomial p = FitPolynomial(xs, ys, 8);
+  const auto peaks = FindPeaks(p, 0, 10);
+  ASSERT_GE(peaks.size(), 2u);
+  for (std::size_t i = 1; i < peaks.size(); ++i)
+    EXPECT_GE(peaks[i - 1].value, peaks[i].value);
+  EXPECT_NEAR(peaks.front().x, 2.0, 1.0);
+}
+
+TEST(FindPeaksTest, InvalidPolynomialYieldsNothing) {
+  EXPECT_TRUE(FindPeaks(Polynomial{}, 0, 10).empty());
+}
+
+TEST(FindPeaksTest, DegenerateIntervalYieldsNothing) {
+  const std::vector<double> xs{0, 1, 2};
+  const std::vector<double> ys{0, 1, 2};
+  const Polynomial p = FitPolynomial(xs, ys, 1);
+  EXPECT_TRUE(FindPeaks(p, 5, 5).empty());
+}
+
+// Property: fitting a polynomial of degree d to d+1 exact samples of a
+// degree-d polynomial reproduces all samples.
+class PolyfitExactTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PolyfitExactTest, InterpolatesExactSamples) {
+  const std::size_t degree = GetParam();
+  Rng rng(degree * 7 + 1);
+  std::vector<double> coeffs(degree + 1);
+  for (auto& c : coeffs) c = rng.NextDouble() * 4 - 2;
+  auto eval = [&](double x) {
+    double acc = 0;
+    for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+    return acc;
+  };
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i <= degree + 4; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(eval(x));
+  }
+  const Polynomial p = FitPolynomial(xs, ys, degree);
+  ASSERT_TRUE(p.Valid());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_NEAR(p.Evaluate(xs[i]), ys[i], 1e-6 + std::fabs(ys[i]) * 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyfitExactTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace daos::autotune

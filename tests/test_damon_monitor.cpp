@@ -1,0 +1,308 @@
+#include "damon/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/address_space.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace daos::damon {
+namespace {
+
+sim::MachineSpec Spec() { return sim::MachineSpec{"t", 4, 3.0, 4 * GiB}; }
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : machine_(Spec(), sim::SwapConfig::Zram()) {}
+
+  std::unique_ptr<sim::AddressSpace> MakeSpace(std::uint64_t data_mib) {
+    auto space = std::make_unique<sim::AddressSpace>(1, &machine_, 3.0);
+    space->Map(0x10000000, data_mib * MiB, "heap");
+    return space;
+  }
+
+  sim::Machine machine_;
+};
+
+TEST_F(MonitorTest, InitRegionsRespectsMinimum) {
+  auto space = MakeSpace(64);
+  DamonContext ctx(MonitoringAttrs::PaperDefaults());
+  DamonTarget& target =
+      ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  ctx.InitRegionsFor(target);
+  EXPECT_GE(target.regions.size(), 10u);
+  // Regions tile the target without holes or overlap.
+  for (std::size_t i = 0; i + 1 < target.regions.size(); ++i) {
+    EXPECT_EQ(target.regions[i].end, target.regions[i + 1].start);
+  }
+  EXPECT_EQ(target.regions.front().start, 0x10000000u);
+  EXPECT_EQ(target.regions.back().end, 0x10000000u + 64 * MiB);
+}
+
+TEST_F(MonitorTest, RegionCountStaysWithinBounds) {
+  auto space = MakeSpace(256);
+  MonitoringAttrs attrs;
+  attrs.min_nr_regions = 10;
+  attrs.max_nr_regions = 100;
+  DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+
+  // Drive with a shifting hot window to force splits and merges.
+  for (SimTimeUs now = 0; now < 5 * kUsPerSec; now += attrs.sampling_interval) {
+    const Addr hot = 0x10000000 + (now / kUsPerSec) * 16 * MiB;
+    space->TouchRange(hot, hot + 16 * MiB, false, now);
+    ctx.Step(now, attrs.sampling_interval);
+    EXPECT_LE(ctx.TotalRegions(), attrs.max_nr_regions);
+  }
+  EXPECT_GT(ctx.counters().region_splits, 0u);
+  EXPECT_GT(ctx.counters().region_merges, 0u);
+}
+
+TEST_F(MonitorTest, HotRegionGetsHighAccessCounts) {
+  auto space = MakeSpace(128);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs, /*seed=*/1);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+
+  // Hot: first 16 MiB touched continuously; rest touched once at start.
+  space->TouchRange(0x10000000, 0x10000000 + 128 * MiB, false, 0);
+  std::uint32_t hot_hits = 0, cold_hits = 0;
+  ctx.AddAggregationHook([&](DamonContext& c, SimTimeUs) {
+    for (const Region& r : c.targets()[0].regions) {
+      const bool hot = r.start < 0x10000000 + 16 * MiB;
+      const std::uint32_t max_checks = c.attrs().MaxChecksPerAggregation();
+      if (hot && r.nr_accesses > max_checks / 2) ++hot_hits;
+      if (!hot && r.nr_accesses <= 1) ++cold_hits;
+    }
+  });
+  for (SimTimeUs now = 0; now < 3 * kUsPerSec; now += attrs.sampling_interval) {
+    space->TouchRange(0x10000000, 0x10000000 + 16 * MiB, false, now);
+    ctx.Step(now, attrs.sampling_interval);
+  }
+  EXPECT_GT(hot_hits, 0u);
+  EXPECT_GT(cold_hits, 0u);
+}
+
+TEST_F(MonitorTest, AgingGrowsForStableRegions) {
+  auto space = MakeSpace(64);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  space->TouchRange(0x10000000, 0x10000000 + 64 * MiB, false, 0);
+
+  std::uint32_t max_age_seen = 0;
+  ctx.AddAggregationHook([&](DamonContext& c, SimTimeUs) {
+    for (const Region& r : c.targets()[0].regions)
+      max_age_seen = std::max(max_age_seen, r.age);
+  });
+  // Untouched memory: regions stay at zero accesses and age steadily.
+  for (SimTimeUs now = 0; now < 3 * kUsPerSec; now += attrs.sampling_interval)
+    ctx.Step(now, attrs.sampling_interval);
+  // ~30 aggregations happened; ages should have grown substantially.
+  EXPECT_GE(max_age_seen, 10u);
+}
+
+TEST_F(MonitorTest, AccessChangeResetsAge) {
+  auto space = MakeSpace(32);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  space->TouchRange(0x10000000, 0x10000000 + 32 * MiB, false, 0);
+
+  // Let everything age while idle.
+  for (SimTimeUs now = 0; now < 2 * kUsPerSec; now += attrs.sampling_interval)
+    ctx.Step(now, attrs.sampling_interval);
+
+  // Suddenly make everything hot; young regions must show reset ages.
+  bool saw_reset = false;
+  ctx.AddAggregationHook([&](DamonContext& c, SimTimeUs) {
+    for (const Region& r : c.targets()[0].regions) {
+      if (r.nr_accesses > c.attrs().MaxChecksPerAggregation() / 2 &&
+          r.age <= 2)
+        saw_reset = true;
+    }
+  });
+  for (SimTimeUs now = 2 * kUsPerSec; now < 3 * kUsPerSec;
+       now += attrs.sampling_interval) {
+    space->TouchRange(0x10000000, 0x10000000 + 32 * MiB, false, now);
+    ctx.Step(now, attrs.sampling_interval);
+  }
+  EXPECT_TRUE(saw_reset);
+}
+
+TEST_F(MonitorTest, SplitInheritsAgeAndCounts) {
+  auto space = MakeSpace(64);
+  DamonContext ctx(MonitoringAttrs::PaperDefaults());
+  DamonTarget& target =
+      ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  ctx.InitRegionsFor(target);
+  for (Region& r : target.regions) {
+    r.age = 7;
+    r.nr_accesses = 3;
+  }
+  const std::size_t before = target.regions.size();
+  ctx.SplitRegions(target);
+  EXPECT_GT(target.regions.size(), before);
+  for (const Region& r : target.regions) {
+    EXPECT_EQ(r.age, 7u);
+    EXPECT_EQ(r.nr_accesses, 3u);
+  }
+}
+
+TEST_F(MonitorTest, MergeUsesSizeWeightedAge) {
+  auto space = MakeSpace(64);
+  DamonContext ctx(MonitoringAttrs::PaperDefaults());
+  DamonTarget& target =
+      ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  // Two adjacent regions, same access count, different size and age.
+  target.regions = {
+      Region{0x10000000, 0x10000000 + 3 * MiB, 0, 0, 12, 0},
+      Region{0x10000000 + 3 * MiB, 0x10000000 + 4 * MiB, 0, 0, 4, 0},
+  };
+  ctx.MergeRegions(target, /*threshold=*/2, /*sz_limit=*/GiB);
+  ASSERT_EQ(target.regions.size(), 1u);
+  EXPECT_EQ(target.regions[0].age, 10u);  // (12*3 + 4*1) / 4
+}
+
+TEST_F(MonitorTest, MergeRespectsThreshold) {
+  auto space = MakeSpace(64);
+  DamonContext ctx(MonitoringAttrs::PaperDefaults());
+  DamonTarget& target =
+      ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  target.regions = {
+      Region{0x10000000, 0x10000000 + MiB, 20, 20, 0, 0},
+      Region{0x10000000 + MiB, 0x10000000 + 2 * MiB, 0, 0, 0, 0},
+  };
+  ctx.MergeRegions(target, /*threshold=*/2, /*sz_limit=*/GiB);
+  EXPECT_EQ(target.regions.size(), 2u);  // too different to merge
+}
+
+TEST_F(MonitorTest, MergeRespectsSizeLimit) {
+  auto space = MakeSpace(64);
+  DamonContext ctx(MonitoringAttrs::PaperDefaults());
+  DamonTarget& target =
+      ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  target.regions = {
+      Region{0x10000000, 0x10000000 + 4 * MiB, 1, 1, 0, 0},
+      Region{0x10000000 + 4 * MiB, 0x10000000 + 8 * MiB, 1, 1, 0, 0},
+  };
+  ctx.MergeRegions(target, /*threshold=*/2, /*sz_limit=*/6 * MiB);
+  EXPECT_EQ(target.regions.size(), 2u);  // merged size would exceed limit
+}
+
+TEST_F(MonitorTest, LayoutChangeTriggersRegionsUpdate) {
+  auto space = MakeSpace(64);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  for (SimTimeUs now = 0; now < kUsPerSec + 10 * kUsPerMs;
+       now += attrs.sampling_interval)
+    ctx.Step(now, attrs.sampling_interval);
+  const std::uint64_t updates_before = ctx.counters().regions_updates;
+
+  // mmap() a new area; within one regions-update interval the monitor must
+  // pick it up (the paper's mmap()/memory-hotplug events, §3.1).
+  space->Map(0x40000000, 32 * MiB, "mmap");
+  for (SimTimeUs now = kUsPerSec + 10 * kUsPerMs; now < 3 * kUsPerSec;
+       now += attrs.sampling_interval)
+    ctx.Step(now, attrs.sampling_interval);
+  EXPECT_GT(ctx.counters().regions_updates, updates_before);
+
+  Addr max_end = 0;
+  for (const Region& r : ctx.targets()[0].regions)
+    max_end = std::max(max_end, r.end);
+  EXPECT_EQ(max_end, 0x40000000u + 32 * MiB);
+}
+
+TEST_F(MonitorTest, CallbackSeesCountsBeforeReset) {
+  auto space = MakeSpace(32);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  std::uint64_t total_accesses = 0;
+  ctx.AddAggregationHook([&](DamonContext& c, SimTimeUs) {
+    for (const Region& r : c.targets()[0].regions)
+      total_accesses += r.nr_accesses;
+  });
+  for (SimTimeUs now = 0; now < 2 * kUsPerSec; now += attrs.sampling_interval) {
+    space->TouchRange(0x10000000, 0x10000000 + 32 * MiB, false, now);
+    ctx.Step(now, attrs.sampling_interval);
+  }
+  EXPECT_GT(total_accesses, 0u);
+}
+
+TEST_F(MonitorTest, OverheadBoundedByMaxRegions) {
+  // The paper's key guarantee: monitoring overhead depends on the region
+  // cap, not on target size. Compare samples for 64 MiB vs 2 GiB targets.
+  MonitoringAttrs attrs;
+  auto run = [&](std::uint64_t mib) {
+    auto space = MakeSpace(mib);
+    DamonContext ctx(attrs);
+    ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+    for (SimTimeUs now = 0; now < 2 * kUsPerSec;
+         now += attrs.sampling_interval) {
+      space->TouchRange(0x10000000, 0x10000000 + mib * MiB / 8, false, now);
+      ctx.Step(now, attrs.sampling_interval);
+    }
+    return ctx.counters().samples;
+  };
+  const std::uint64_t small = run(64);
+  const std::uint64_t large = run(2048);
+  // Within 3x of each other despite 32x the memory.
+  EXPECT_LT(static_cast<double>(large),
+            3.0 * static_cast<double>(small) + 1000);
+}
+
+TEST_F(MonitorTest, CpuAccountingGrowsWithWork) {
+  auto space = MakeSpace(64);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  for (SimTimeUs now = 0; now < kUsPerSec; now += attrs.sampling_interval)
+    ctx.Step(now, attrs.sampling_interval);
+  EXPECT_GT(ctx.counters().samples, 0u);
+  EXPECT_GT(ctx.counters().cpu_us, 0.0);
+  EXPECT_GT(ctx.CpuFraction(kUsPerSec), 0.0);
+  EXPECT_LT(ctx.CpuFraction(kUsPerSec), 0.05);  // ~paper's 1.4 % claim
+}
+
+TEST_F(MonitorTest, StepReturnsInterference) {
+  auto space = MakeSpace(64);
+  MonitoringAttrs attrs;
+  DamonContext ctx(attrs, 42, /*interference_per_sample_us=*/0.1);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(space.get()));
+  double total = 0.0;
+  for (SimTimeUs now = 0; now < kUsPerSec; now += attrs.sampling_interval)
+    total += ctx.Step(now, attrs.sampling_interval);
+  EXPECT_GT(total, 0.0);
+}
+
+// Parameterized: the region bound holds across caps under churn.
+class MonitorRegionCapTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MonitorRegionCapTest, NeverExceedsCap) {
+  const std::uint32_t cap = GetParam();
+  sim::Machine machine(Spec(), sim::SwapConfig::Zram());
+  sim::AddressSpace space(1, &machine, 3.0);
+  space.Map(0x10000000, 512 * MiB, "heap");
+  MonitoringAttrs attrs;
+  attrs.min_nr_regions = std::min<std::uint32_t>(10, cap);
+  attrs.max_nr_regions = cap;
+  DamonContext ctx(attrs, cap);
+  ctx.AddTarget(std::make_unique<VaddrPrimitives>(&space));
+  Rng rng(cap);
+  for (SimTimeUs now = 0; now < 3 * kUsPerSec; now += attrs.sampling_interval) {
+    const Addr hot = 0x10000000 + rng.NextBounded(16) * 16 * MiB;
+    space.TouchRange(hot, hot + 8 * MiB, false, now);
+    ctx.Step(now, attrs.sampling_interval);
+    ASSERT_LE(ctx.TotalRegions(), cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, MonitorRegionCapTest,
+                         ::testing::Values(20, 100, 1000));
+
+}  // namespace
+}  // namespace daos::damon

@@ -1,0 +1,158 @@
+#include "damos/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace daos::damos {
+namespace {
+
+TEST(ParserTest, PaperListing1) {
+  // Listing 1 verbatim (with its comments).
+  const ParseResult r = ParseSchemes(
+      "# size frequency age action\n"
+      "# page out memory regions not accessed >= 2 minutes\n"
+      "min max min min 2m max page_out\n"
+      "\n"
+      "# Use THP for >=2MiB regions having >=80% frequency for >=1 minute\n"
+      "2MB max 80% max 1m max thp\n"
+      "\n"
+      "# Do not use THP for regions having <=5% frequency for >=1 minute\n"
+      "min max min 5% 1m max nothp\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.schemes.size(), 3u);
+
+  const SchemeBounds& prcl = r.schemes[0].bounds();
+  EXPECT_EQ(prcl.min_size, 0u);
+  EXPECT_EQ(prcl.max_size, kMaxU64);
+  EXPECT_DOUBLE_EQ(prcl.max_freq.value, 0.0);
+  EXPECT_EQ(prcl.min_age, 2 * kUsPerMin);
+  EXPECT_EQ(prcl.action, damon::DamosAction::kPageout);
+
+  const SchemeBounds& thp = r.schemes[1].bounds();
+  EXPECT_EQ(thp.min_size, 2 * MiB);
+  EXPECT_DOUBLE_EQ(thp.min_freq.value, 0.8);
+  EXPECT_EQ(thp.min_age, kUsPerMin);
+  EXPECT_EQ(thp.action, damon::DamosAction::kHugepage);
+
+  const SchemeBounds& nothp = r.schemes[2].bounds();
+  EXPECT_DOUBLE_EQ(nothp.max_freq.value, 0.05);
+  EXPECT_EQ(nothp.action, damon::DamosAction::kNohugepage);
+}
+
+TEST(ParserTest, PaperListing3) {
+  const ParseResult r = ParseSchemes(
+      "# size frequency age action\n"
+      "min max 5 max min max hugepage\n"
+      "2M max min min 7s max nohugepage\n"
+      "\n"
+      "4K max min min 5s max pageout\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.schemes.size(), 3u);
+
+  // Bare "5" is a raw per-aggregation sample count.
+  EXPECT_EQ(r.schemes[0].bounds().min_freq.unit, FreqBound::Unit::kSamples);
+  EXPECT_DOUBLE_EQ(r.schemes[0].bounds().min_freq.value, 5.0);
+
+  EXPECT_EQ(r.schemes[1].bounds().min_size, 2 * MiB);
+  EXPECT_EQ(r.schemes[1].bounds().min_age, 7 * kUsPerSec);
+
+  EXPECT_EQ(r.schemes[2].bounds().min_size, 4 * KiB);
+  EXPECT_EQ(r.schemes[2].bounds().min_age, 5 * kUsPerSec);
+  EXPECT_EQ(r.schemes[2].bounds().action, damon::DamosAction::kPageout);
+}
+
+TEST(ParserTest, ActionAliases) {
+  damon::DamosAction a;
+  EXPECT_TRUE(ParseAction("pageout", &a));
+  EXPECT_EQ(a, damon::DamosAction::kPageout);
+  EXPECT_TRUE(ParseAction("page_out", &a));
+  EXPECT_EQ(a, damon::DamosAction::kPageout);
+  EXPECT_TRUE(ParseAction("thp", &a));
+  EXPECT_EQ(a, damon::DamosAction::kHugepage);
+  EXPECT_TRUE(ParseAction("NOTHP", &a));
+  EXPECT_EQ(a, damon::DamosAction::kNohugepage);
+  EXPECT_TRUE(ParseAction("willneed", &a));
+  EXPECT_TRUE(ParseAction("cold", &a));
+  EXPECT_TRUE(ParseAction("stat", &a));
+  EXPECT_FALSE(ParseAction("explode", &a));
+}
+
+TEST(ParserTest, WrongFieldCount) {
+  const ParseResult r = ParseSchemeLine("min max min min 2m pageout");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].message.find("7 fields"), std::string::npos);
+}
+
+TEST(ParserTest, BadTokensReportedIndividually) {
+  const ParseResult r = ParseSchemeLine("bogus max nope max soon max pageout");
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(r.errors.size(), 3u);
+}
+
+TEST(ParserTest, ErrorCarriesLineNumber) {
+  const ParseResult r = ParseSchemes(
+      "min max min min 2m max pageout\n"
+      "min max min min 2m max frobnicate\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line_number, 2);
+  // The good line still parsed.
+  EXPECT_EQ(r.schemes.size(), 1u);
+}
+
+TEST(ParserTest, MinSizeAboveMaxRejected) {
+  const ParseResult r = ParseSchemeLine("8M 2M min max min max pageout");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, EmptyInputYieldsNothing) {
+  const ParseResult r = ParseSchemes("\n# only comments\n\n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.schemes.empty());
+}
+
+TEST(ParserTest, RoundTripThroughToText) {
+  const char* lines[] = {
+      "min max min min 2m max pageout",
+      "2.0M max 80% max 1m max hugepage",
+      "4.0K max min min 5s max pageout",
+      "min max min 5% 1m max nohugepage",
+  };
+  for (const char* line : lines) {
+    const ParseResult first = ParseSchemeLine(line);
+    ASSERT_TRUE(first.ok()) << line;
+    const std::string text = first.schemes[0].ToText();
+    const ParseResult second = ParseSchemeLine(text);
+    ASSERT_TRUE(second.ok()) << text;
+    EXPECT_EQ(second.schemes[0].ToText(), text);
+  }
+}
+
+// Property: parsing arbitrary valid combinations succeeds and preserves the
+// action.
+struct ActionCase {
+  const char* token;
+  damon::DamosAction action;
+};
+
+class ParserActionTest : public ::testing::TestWithParam<ActionCase> {};
+
+TEST_P(ParserActionTest, ParsesEveryAction) {
+  const ActionCase& c = GetParam();
+  const std::string line = std::string("min max min max min max ") + c.token;
+  const ParseResult r = ParseSchemeLine(line);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schemes[0].action(), c.action);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Actions, ParserActionTest,
+    ::testing::Values(ActionCase{"pageout", damon::DamosAction::kPageout},
+                      ActionCase{"hugepage", damon::DamosAction::kHugepage},
+                      ActionCase{"nohugepage",
+                                 damon::DamosAction::kNohugepage},
+                      ActionCase{"willneed", damon::DamosAction::kWillneed},
+                      ActionCase{"cold", damon::DamosAction::kCold},
+                      ActionCase{"stat", damon::DamosAction::kStat}));
+
+}  // namespace
+}  // namespace daos::damos

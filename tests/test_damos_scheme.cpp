@@ -1,0 +1,125 @@
+#include "damos/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace daos::damos {
+namespace {
+
+damon::MonitoringAttrs PaperAttrs() {
+  return damon::MonitoringAttrs::PaperDefaults();  // 20 checks/aggregation
+}
+
+damon::Region MakeRegion(std::uint64_t size, std::uint32_t nr_accesses,
+                         std::uint32_t age) {
+  damon::Region r;
+  r.start = 0x1000000;
+  r.end = r.start + size;
+  r.nr_accesses = nr_accesses;
+  r.age = age;
+  return r;
+}
+
+TEST(FreqBoundTest, PercentToSamples) {
+  const auto attrs = PaperAttrs();
+  EXPECT_DOUBLE_EQ(FreqBound::Percent(0.5).ToSamples(attrs), 10.0);
+  EXPECT_DOUBLE_EQ(FreqBound::MaxValue().ToSamples(attrs), 20.0);
+  EXPECT_DOUBLE_EQ(FreqBound::MinValue().ToSamples(attrs), 0.0);
+}
+
+TEST(FreqBoundTest, SamplesPassThrough) {
+  EXPECT_DOUBLE_EQ(FreqBound::Samples(5).ToSamples(PaperAttrs()), 5.0);
+}
+
+TEST(SchemeMatchTest, SizeBounds) {
+  SchemeBounds b;
+  b.min_size = 2 * MiB;
+  b.max_size = 8 * MiB;
+  Scheme scheme(b);
+  EXPECT_FALSE(scheme.Matches(MakeRegion(1 * MiB, 0, 0), PaperAttrs()));
+  EXPECT_TRUE(scheme.Matches(MakeRegion(2 * MiB, 0, 0), PaperAttrs()));
+  EXPECT_TRUE(scheme.Matches(MakeRegion(8 * MiB, 0, 0), PaperAttrs()));
+  EXPECT_FALSE(scheme.Matches(MakeRegion(9 * MiB, 0, 0), PaperAttrs()));
+}
+
+TEST(SchemeMatchTest, FrequencyBounds) {
+  SchemeBounds b;
+  b.min_freq = FreqBound::Percent(0.5);  // >= 10 samples of 20
+  Scheme scheme(b);
+  EXPECT_FALSE(scheme.Matches(MakeRegion(MiB, 9, 0), PaperAttrs()));
+  EXPECT_TRUE(scheme.Matches(MakeRegion(MiB, 10, 0), PaperAttrs()));
+
+  SchemeBounds zero_only;
+  zero_only.max_freq = FreqBound::MinValue();
+  Scheme idle(zero_only);
+  EXPECT_TRUE(idle.Matches(MakeRegion(MiB, 0, 0), PaperAttrs()));
+  EXPECT_FALSE(idle.Matches(MakeRegion(MiB, 1, 0), PaperAttrs()));
+}
+
+TEST(SchemeMatchTest, AgeBoundsInTimeUnits) {
+  SchemeBounds b;
+  b.min_age = 2 * kUsPerSec;  // with 100 ms aggregation: age >= 20
+  Scheme scheme(b);
+  EXPECT_FALSE(scheme.Matches(MakeRegion(MiB, 0, 19), PaperAttrs()));
+  EXPECT_TRUE(scheme.Matches(MakeRegion(MiB, 0, 20), PaperAttrs()));
+
+  SchemeBounds young_only;
+  young_only.max_age = kUsPerSec;  // age <= 10
+  Scheme young(young_only);
+  EXPECT_TRUE(young.Matches(MakeRegion(MiB, 0, 10), PaperAttrs()));
+  EXPECT_FALSE(young.Matches(MakeRegion(MiB, 0, 11), PaperAttrs()));
+}
+
+TEST(SchemeMatchTest, UnboundedMatchesEverything) {
+  Scheme scheme{SchemeBounds{}};
+  EXPECT_TRUE(scheme.Matches(MakeRegion(kPageSize, 0, 0), PaperAttrs()));
+  EXPECT_TRUE(scheme.Matches(MakeRegion(GiB, 20, 100000), PaperAttrs()));
+}
+
+TEST(SchemeFactoryTest, PrclShape) {
+  const Scheme prcl = Scheme::Prcl(5 * kUsPerSec);
+  EXPECT_EQ(prcl.action(), damon::DamosAction::kPageout);
+  // Matches idle-for-5s regions only.
+  EXPECT_TRUE(prcl.Matches(MakeRegion(MiB, 0, 50), PaperAttrs()));
+  EXPECT_FALSE(prcl.Matches(MakeRegion(MiB, 0, 49), PaperAttrs()));
+  EXPECT_FALSE(prcl.Matches(MakeRegion(MiB, 3, 50), PaperAttrs()));
+}
+
+TEST(SchemeFactoryTest, EthpShapes) {
+  const Scheme promote = Scheme::EthpHugepage(5.0);
+  EXPECT_EQ(promote.action(), damon::DamosAction::kHugepage);
+  EXPECT_TRUE(promote.Matches(MakeRegion(4 * MiB, 5, 0), PaperAttrs()));
+  EXPECT_FALSE(promote.Matches(MakeRegion(4 * MiB, 4, 0), PaperAttrs()));
+
+  const Scheme demote = Scheme::EthpNohugepage(7 * kUsPerSec);
+  EXPECT_EQ(demote.action(), damon::DamosAction::kNohugepage);
+  EXPECT_TRUE(demote.Matches(MakeRegion(4 * MiB, 0, 70), PaperAttrs()));
+  EXPECT_FALSE(demote.Matches(MakeRegion(1 * MiB, 0, 70), PaperAttrs()));
+  EXPECT_FALSE(demote.Matches(MakeRegion(4 * MiB, 10, 70), PaperAttrs()));
+}
+
+TEST(SchemeFactoryTest, WssStatCountsAccessedOnly) {
+  const Scheme wss = Scheme::WssStat();
+  EXPECT_EQ(wss.action(), damon::DamosAction::kStat);
+  EXPECT_TRUE(wss.Matches(MakeRegion(MiB, 1, 0), PaperAttrs()));
+  EXPECT_FALSE(wss.Matches(MakeRegion(MiB, 0, 0), PaperAttrs()));
+}
+
+TEST(SchemeTextTest, SerializesLikeTheListings) {
+  EXPECT_EQ(Scheme::Prcl(5 * kUsPerSec).ToText(),
+            "4.0K max min min 5s max pageout");
+  EXPECT_EQ(Scheme::EthpNohugepage(7 * kUsPerSec).ToText(),
+            "2.0M max min min 7s max nohugepage");
+}
+
+TEST(SchemeTextTest, PercentBoundsSerialized) {
+  SchemeBounds b;
+  b.min_size = 2 * MiB;
+  b.min_freq = FreqBound::Percent(0.8);
+  b.min_age = kUsPerMin;
+  b.action = damon::DamosAction::kHugepage;
+  // Listing 1 line 8: "2MB max 80% max 1m max thp".
+  EXPECT_EQ(Scheme(b).ToText(), "2.0M max 80% max 1m max hugepage");
+}
+
+}  // namespace
+}  // namespace daos::damos

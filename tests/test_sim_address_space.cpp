@@ -1,0 +1,281 @@
+#include "sim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace daos::sim {
+namespace {
+
+MachineSpec SmallSpec() { return MachineSpec{"test", 4, 3.0, 1 * GiB}; }
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  Machine machine_{SmallSpec(), SwapConfig::Zram(64 * MiB)};
+  AddressSpace space_{1, &machine_, 3.0};
+};
+
+TEST_F(AddressSpaceTest, MapCreatesVma) {
+  Vma& vma = space_.Map(0x10000, 64 * kPageSize, "heap");
+  EXPECT_EQ(vma.start(), 0x10000u);
+  EXPECT_EQ(vma.size(), 64 * kPageSize);
+  EXPECT_EQ(vma.page_count(), 64u);
+  EXPECT_EQ(space_.mapped_bytes(), 64 * kPageSize);
+}
+
+TEST_F(AddressSpaceTest, MapBumpsLayoutGeneration) {
+  const auto g0 = space_.layout_generation();
+  space_.Map(0x10000, kPageSize, "a");
+  EXPECT_GT(space_.layout_generation(), g0);
+}
+
+TEST_F(AddressSpaceTest, FindVmaHitsAndMisses) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.Map(0x100000, 4 * kPageSize, "b");
+  EXPECT_NE(space_.FindVma(0x10000), nullptr);
+  EXPECT_NE(space_.FindVma(0x10000 + 3 * kPageSize), nullptr);
+  EXPECT_EQ(space_.FindVma(0x10000 + 4 * kPageSize), nullptr);
+  EXPECT_EQ(space_.FindVma(0x0), nullptr);
+  EXPECT_EQ(space_.FindVma(0x100000)->name(), "b");
+}
+
+TEST_F(AddressSpaceTest, TouchFaultsInPage) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  const TouchStats st = space_.TouchPage(0x10000, false, 0);
+  EXPECT_EQ(st.minor_faults, 1u);
+  EXPECT_EQ(st.major_faults, 0u);
+  EXPECT_EQ(space_.resident_pages(), 1u);
+  EXPECT_TRUE(space_.IsResident(0x10000));
+  EXPECT_GT(st.stall_us, 0.0);
+}
+
+TEST_F(AddressSpaceTest, SecondTouchNoFault) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.TouchPage(0x10000, false, 0);
+  const TouchStats st = space_.TouchPage(0x10000, false, 1000);
+  EXPECT_EQ(st.minor_faults, 0u);
+  EXPECT_DOUBLE_EQ(st.stall_us, 0.0);
+}
+
+TEST_F(AddressSpaceTest, TouchOutsideMappingIsNoop) {
+  const TouchStats st = space_.TouchPage(0xdead000, false, 0);
+  EXPECT_EQ(st.pages, 0u);
+  EXPECT_EQ(space_.resident_pages(), 0u);
+}
+
+TEST_F(AddressSpaceTest, TouchChargesMachineFrames) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.TouchPage(0x10000, false, 0);
+  space_.TouchPage(0x10000 + kPageSize, false, 0);
+  EXPECT_EQ(machine_.used_frames(), 2u);
+}
+
+TEST_F(AddressSpaceTest, MkOldAndIsYoung) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.TouchPage(0x10000, false, 0);
+  EXPECT_TRUE(space_.IsYoung(0x10000));
+  space_.MkOld(0x10000, 1000);
+  EXPECT_FALSE(space_.IsYoung(0x10000));
+  space_.TouchPage(0x10000, false, 2000);
+  EXPECT_TRUE(space_.IsYoung(0x10000));
+}
+
+TEST_F(AddressSpaceTest, RangeTouchVisibleThroughLog) {
+  space_.Map(0x10000, 1024 * kPageSize, "a");
+  // Populate, then clear one page's accessed bit.
+  space_.TouchRange(0x10000, 0x10000 + 1024 * kPageSize, false, 0);
+  const Addr probe = 0x10000 + 100 * kPageSize;
+  space_.MkOld(probe, 1 * kUsPerSec);
+  EXPECT_FALSE(space_.IsYoung(probe));
+  // A later range sweep over the whole area must mark it young again even
+  // though the fast path does not touch the page struct.
+  space_.TouchRange(0x10000, 0x10000 + 1024 * kPageSize, false,
+                    2 * kUsPerSec);
+  EXPECT_TRUE(space_.IsYoung(probe));
+}
+
+TEST_F(AddressSpaceTest, RangeTouchBeforeMkOldNotYoung) {
+  space_.Map(0x10000, 1024 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 1024 * kPageSize, false, 0);
+  const Addr probe = 0x10000 + 5 * kPageSize;
+  space_.MkOld(probe, 5 * kUsPerSec);  // cleared after the sweep
+  EXPECT_FALSE(space_.IsYoung(probe));
+}
+
+TEST_F(AddressSpaceTest, PageOutRangeEvictsToSwap) {
+  space_.Map(0x10000, 64 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 64 * kPageSize, true, 0);
+  const std::uint64_t evicted =
+      space_.PageOutRange(0x10000, 0x10000 + 64 * kPageSize, kUsPerSec);
+  EXPECT_EQ(evicted, 64 * kPageSize);
+  EXPECT_EQ(space_.resident_pages(), 0u);
+  EXPECT_EQ(space_.swapped_pages(), 64u);
+  EXPECT_EQ(machine_.swap().used_slots(), 64u);
+  EXPECT_EQ(machine_.used_frames(), 0u);
+}
+
+TEST_F(AddressSpaceTest, SwappedTouchIsMajorFault) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.TouchPage(0x10000, true, 0);
+  space_.PageOutRange(0x10000, 0x10000 + kPageSize, 0);
+  const TouchStats st = space_.TouchPage(0x10000, false, kUsPerSec);
+  EXPECT_EQ(st.major_faults, 1u);
+  EXPECT_EQ(space_.major_faults(), 1u);
+  EXPECT_GE(st.stall_us,
+            static_cast<double>(machine_.swap().config().page_in_us));
+  EXPECT_TRUE(space_.IsResident(0x10000));
+  EXPECT_EQ(machine_.swap().used_slots(), 0u);
+}
+
+TEST_F(AddressSpaceTest, SwapInRangeBringsPagesBack) {
+  space_.Map(0x10000, 16 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 16 * kPageSize, true, 0);
+  space_.PageOutRange(0x10000, 0x10000 + 16 * kPageSize, 0);
+  const std::uint64_t bytes =
+      space_.SwapInRange(0x10000, 0x10000 + 16 * kPageSize, kUsPerSec);
+  EXPECT_EQ(bytes, 16 * kPageSize);
+  EXPECT_EQ(space_.resident_pages(), 16u);
+  EXPECT_EQ(space_.swapped_pages(), 0u);
+}
+
+TEST_F(AddressSpaceTest, DeactivateMarksPages) {
+  space_.Map(0x10000, 8 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 8 * kPageSize, false, 0);
+  const std::uint64_t bytes =
+      space_.DeactivateRange(0x10000, 0x10000 + 8 * kPageSize);
+  EXPECT_EQ(bytes, 8 * kPageSize);
+  EXPECT_TRUE(space_.FindVma(0x10000)->PageAt(0x10000).Deactivated());
+  // A touch reactivates.
+  space_.TouchPage(0x10000, false, kUsPerSec);
+  EXPECT_FALSE(space_.FindVma(0x10000)->PageAt(0x10000).Deactivated());
+}
+
+TEST_F(AddressSpaceTest, UnmapReleasesEverything) {
+  space_.Map(0x10000, 32 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 32 * kPageSize, true, 0);
+  space_.PageOutRange(0x10000, 0x10000 + 8 * kPageSize, 0);
+  space_.UnmapVma(0x10000);
+  EXPECT_EQ(space_.mapped_bytes(), 0u);
+  EXPECT_EQ(space_.resident_pages(), 0u);
+  EXPECT_EQ(space_.swapped_pages(), 0u);
+  EXPECT_EQ(machine_.used_frames(), 0u);
+  EXPECT_EQ(machine_.swap().used_slots(), 0u);
+}
+
+TEST_F(AddressSpaceTest, DestructorReturnsFrames) {
+  {
+    AddressSpace other(2, &machine_, 2.0);
+    other.Map(0x20000, 16 * kPageSize, "x");
+    other.TouchRange(0x20000, 0x20000 + 16 * kPageSize, false, 0);
+    EXPECT_EQ(machine_.used_frames(), 16u);
+  }
+  EXPECT_EQ(machine_.used_frames(), 0u);
+}
+
+TEST_F(AddressSpaceTest, PageOutWithoutSwapFreesNothingTouched) {
+  Machine no_swap(SmallSpec(), SwapConfig::None());
+  AddressSpace space(3, &no_swap, 3.0);
+  space.Map(0x10000, 8 * kPageSize, "a");
+  space.TouchRange(0x10000, 0x10000 + 8 * kPageSize, true, 0);
+  const std::uint64_t evicted =
+      space.PageOutRange(0x10000, 0x10000 + 8 * kPageSize, 0);
+  EXPECT_EQ(evicted, 0u);
+  EXPECT_EQ(space.resident_pages(), 8u);
+  EXPECT_GT(no_swap.counters().failed_evictions, 0u);
+}
+
+TEST_F(AddressSpaceTest, VmaBlockSpanClamped) {
+  // A VMA smaller than one huge block still has a valid (partial) block.
+  Vma& vma = space_.Map(0x10000, 16 * kPageSize, "small");
+  ASSERT_GE(vma.block_count(), 1u);
+  const auto [lo, hi] = vma.BlockPageSpan(0);
+  EXPECT_EQ(hi - lo, 16u);
+  EXPECT_FALSE(vma.BlockIsFull(0));
+}
+
+TEST_F(AddressSpaceTest, FullBlockDetected) {
+  Vma& vma = space_.Map(2 * kHugePageSize, 2 * kHugePageSize, "aligned");
+  EXPECT_TRUE(vma.BlockIsFull(0));
+  EXPECT_TRUE(vma.BlockIsFull(1));
+}
+
+TEST_F(AddressSpaceTest, DirtyBitOnWrite) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.TouchPage(0x10000, false, 0);
+  EXPECT_FALSE(space_.FindVma(0x10000)->PageAt(0x10000).Dirty());
+  space_.TouchPage(0x10000, true, 0);
+  EXPECT_TRUE(space_.FindVma(0x10000)->PageAt(0x10000).Dirty());
+}
+
+TEST_F(AddressSpaceTest, LogGcKeepsRecentEntries) {
+  space_.Map(0x10000, 1024 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 1024 * kPageSize, false, 0);
+  Vma* vma = space_.FindVma(0x10000);
+  // Sweep at t=20s, GC at t=25s with a 10s horizon keeps it.
+  space_.TouchRange(0x10000, 0x10000 + 1024 * kPageSize, false,
+                    20 * kUsPerSec);
+  space_.MaintainLogs(25 * kUsPerSec);
+  EXPECT_GE(vma->log_size(), 1u);
+}
+
+// Invariant sweep: resident + swapped counters must match per-page state
+// after arbitrary operation sequences.
+class AddressSpaceInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddressSpaceInvariantTest, CountersMatchPageState) {
+  Machine machine(SmallSpec(), SwapConfig::Zram(64 * MiB));
+  AddressSpace space(1, &machine, 3.0);
+  const Addr base = 4 * kHugePageSize;
+  const std::uint64_t pages = 4 * kPagesPerHuge;
+  space.Map(base, pages * kPageSize, "a");
+  Rng rng(GetParam());
+  for (int step = 0; step < 500; ++step) {
+    const Addr a = base + rng.NextBounded(pages) * kPageSize;
+    const Addr b = base + rng.NextBounded(pages) * kPageSize;
+    const Addr lo = std::min(a, b);
+    const Addr hi = std::max(a, b) + kPageSize;
+    switch (rng.NextBounded(6)) {
+      case 0:
+        space.TouchPage(a, rng.NextBool(0.5), step * 1000);
+        break;
+      case 1:
+        space.TouchRange(lo, hi, false, step * 1000);
+        break;
+      case 2:
+        space.PageOutRange(lo, hi, step * 1000);
+        break;
+      case 3:
+        space.SwapInRange(lo, hi, step * 1000);
+        break;
+      case 4:
+        space.PromoteRange(lo, hi, step * 1000);
+        break;
+      case 5:
+        space.DemoteRange(lo, hi);
+        break;
+    }
+  }
+  std::uint64_t resident = 0, swapped = 0, bloat = 0;
+  const Vma* vma = space.FindVma(base);
+  ASSERT_NE(vma, nullptr);
+  for (std::size_t i = 0; i < vma->page_count(); ++i) {
+    const Page& pg = vma->PageAt(vma->AddrOfIndex(i));
+    resident += pg.Present() ? 1 : 0;
+    swapped += pg.Swapped() ? 1 : 0;
+    bloat += pg.HugeBloat() ? 1 : 0;
+    EXPECT_FALSE(pg.Present() && pg.Swapped());
+  }
+  EXPECT_EQ(space.resident_pages(), resident);
+  EXPECT_EQ(space.swapped_pages(), swapped);
+  EXPECT_EQ(space.bloat_pages(), bloat);
+  EXPECT_EQ(machine.used_frames(), resident);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressSpaceInvariantTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace daos::sim

@@ -1,0 +1,87 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/address_space.hpp"
+
+namespace daos::sim {
+namespace {
+
+TEST(MachineSpecTest, Table2Values) {
+  // Paper Table 2.
+  const MachineSpec i3 = MachineSpec::I3Metal();
+  EXPECT_EQ(i3.name, "i3.metal");
+  EXPECT_EQ(i3.vcpus, 36);
+  EXPECT_DOUBLE_EQ(i3.cpu_ghz, 3.0);
+  EXPECT_EQ(i3.dram_bytes, 128 * GiB);
+
+  const MachineSpec m5d = MachineSpec::M5dMetal();
+  EXPECT_EQ(m5d.vcpus, 48);
+  EXPECT_DOUBLE_EQ(m5d.cpu_ghz, 3.1);
+  EXPECT_EQ(m5d.dram_bytes, 96 * GiB);
+
+  const MachineSpec z1d = MachineSpec::Z1dMetal();
+  EXPECT_EQ(z1d.vcpus, 24);
+  EXPECT_DOUBLE_EQ(z1d.cpu_ghz, 4.0);
+  EXPECT_EQ(z1d.dram_bytes, 96 * GiB);
+}
+
+TEST(MachineSpecTest, AllBareMetalListsThree) {
+  EXPECT_EQ(MachineSpec::AllBareMetal().size(), 3u);
+}
+
+TEST(MachineSpecTest, GuestHalvesCpusQuartersDram) {
+  // Paper §4: guests use half the CPUs and a quarter of the memory.
+  const MachineSpec guest = MachineSpec::I3Metal().GuestOf();
+  EXPECT_EQ(guest.vcpus, 18);
+  EXPECT_EQ(guest.dram_bytes, 32 * GiB);
+  EXPECT_DOUBLE_EQ(guest.cpu_ghz, 3.0);
+}
+
+TEST(MachineTest, CpuSpeedRelativeToReference) {
+  Machine i3(MachineSpec::I3Metal(), SwapConfig::Zram());
+  Machine z1d(MachineSpec::Z1dMetal(), SwapConfig::Zram());
+  EXPECT_DOUBLE_EQ(i3.cpu_speed(), 1.0);
+  EXPECT_NEAR(z1d.cpu_speed(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(MachineTest, FrameAccounting) {
+  Machine machine(MachineSpec{"t", 2, 3.0, GiB}, SwapConfig::Zram());
+  machine.ChargeFrames(10);
+  EXPECT_EQ(machine.used_frames(), 10u);
+  machine.UnchargeFrames(3);
+  EXPECT_EQ(machine.used_frames(), 7u);
+  machine.UnchargeFrames(100);  // saturates, no underflow
+  EXPECT_EQ(machine.used_frames(), 0u);
+}
+
+TEST(MachineTest, SpaceRegistry) {
+  Machine machine(MachineSpec{"t", 2, 3.0, GiB}, SwapConfig::Zram());
+  {
+    AddressSpace a(1, &machine, 3.0);
+    AddressSpace b(2, &machine, 3.0);
+    EXPECT_EQ(machine.spaces().size(), 2u);
+  }
+  EXPECT_TRUE(machine.spaces().empty());
+}
+
+TEST(MachineTest, PressureThreshold) {
+  Machine machine(MachineSpec{"t", 2, 3.0, 100 * MiB}, SwapConfig::None());
+  EXPECT_FALSE(machine.UnderPressure());
+  machine.ChargeFrames(90 * MiB / kPageSize);
+  EXPECT_FALSE(machine.UnderPressure());  // 90 % < 92 % watermark
+  machine.ChargeFrames(5 * MiB / kPageSize);
+  EXPECT_TRUE(machine.UnderPressure());
+}
+
+TEST(MachineTest, CostModelSane) {
+  Machine machine(MachineSpec::I3Metal(), SwapConfig::Zram());
+  const CostModel& costs = machine.costs();
+  EXPECT_GT(costs.minor_fault_us, 0.0);
+  EXPECT_GT(costs.huge_fault_extra_us, costs.minor_fault_us);
+  EXPECT_LT(costs.monitor_check_us, 1.0);  // sub-microsecond checks
+  EXPECT_GT(costs.monitor_check_paddr_us, costs.monitor_check_us);
+}
+
+}  // namespace
+}  // namespace daos::sim

@@ -1,0 +1,163 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/system.hpp"
+
+namespace daos::sim {
+namespace {
+
+/// Touches a fixed range every quantum.
+class FixedSource final : public AccessSource {
+ public:
+  explicit FixedSource(std::uint64_t pages) : pages_(pages) {}
+
+  // Huge-page aligned so PromoteRange can work on it.
+  static constexpr Addr kBase = 2 * kHugePageSize;
+
+  void BuildLayout(AddressSpace& space) override {
+    space.Map(kBase, pages_ * kPageSize, "data");
+  }
+  TouchStats EmitQuantum(AddressSpace& space, SimTimeUs now,
+                         SimTimeUs) override {
+    return space.TouchRange(kBase, kBase + pages_ * kPageSize, false, now);
+  }
+
+ private:
+  std::uint64_t pages_;
+};
+
+/// Never touches anything (pure CPU burner).
+class IdleSource final : public AccessSource {
+ public:
+  void BuildLayout(AddressSpace& space) override {
+    space.Map(0x10000, kPageSize, "stub");
+  }
+  TouchStats EmitQuantum(AddressSpace&, SimTimeUs, SimTimeUs) override {
+    return {};
+  }
+};
+
+ProcessParams Params(double work_s, bool forever = false) {
+  ProcessParams p;
+  p.name = "test";
+  p.total_work_us = work_s * kUsPerSec;
+  p.run_forever = forever;
+  p.mem_boundness = 1.0;
+  return p;
+}
+
+TEST(ProcessTest, FinishesAfterNominalWork) {
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  Process proc(Params(0.010), &machine, 1, std::make_unique<IdleSource>());
+  SimTimeUs now = 0;
+  bool finished = false;
+  for (int i = 0; i < 20 && !finished; ++i, now += kUsPerMs)
+    finished = proc.RunQuantum(now, kUsPerMs);
+  EXPECT_TRUE(finished);
+  // 10 ms of work at reference speed with no stalls: exactly 10 quanta.
+  EXPECT_NEAR(proc.Metrics(now).runtime_s, 0.010, 1e-9);
+}
+
+TEST(ProcessTest, FasterCpuFinishesSooner) {
+  Machine slow(MachineSpec{"s", 4, 3.0, GiB}, SwapConfig::Zram());
+  Machine fast(MachineSpec{"f", 4, 4.0, GiB}, SwapConfig::Zram());
+  Process a(Params(0.1), &slow, 1, std::make_unique<IdleSource>());
+  Process b(Params(0.1), &fast, 1, std::make_unique<IdleSource>());
+  SimTimeUs now = 0;
+  while (!a.finished() || !b.finished()) {
+    a.RunQuantum(now, kUsPerMs);
+    b.RunQuantum(now, kUsPerMs);
+    now += kUsPerMs;
+    ASSERT_LT(now, kUsPerSec);
+  }
+  EXPECT_LT(b.Metrics(now).runtime_s, a.Metrics(now).runtime_s);
+  EXPECT_NEAR(b.Metrics(now).runtime_s / a.Metrics(now).runtime_s, 0.75,
+              0.05);
+}
+
+TEST(ProcessTest, StallDebtExtendsRuntime) {
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  Process clean(Params(0.02), &machine, 1, std::make_unique<IdleSource>());
+  Process stalled(Params(0.02), &machine, 2, std::make_unique<IdleSource>());
+  stalled.AddInterference(5000.0);  // 5 ms of injected stall
+  SimTimeUs now = 0;
+  while (!clean.finished() || !stalled.finished()) {
+    clean.RunQuantum(now, kUsPerMs);
+    stalled.RunQuantum(now, kUsPerMs);
+    now += kUsPerMs;
+    ASSERT_LT(now, kUsPerSec);
+  }
+  EXPECT_NEAR(stalled.Metrics(now).runtime_s - clean.Metrics(now).runtime_s,
+              0.005, 0.0015);
+}
+
+TEST(ProcessTest, InterferenceScaledByMemBoundness) {
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  ProcessParams p = Params(1.0);
+  p.mem_boundness = 0.25;
+  Process proc(std::move(p), &machine, 1, std::make_unique<IdleSource>());
+  proc.AddInterference(1000.0);
+  EXPECT_NEAR(proc.Metrics(0).interference_s, 0.00025, 1e-9);
+}
+
+TEST(ProcessTest, RunForeverNeverFinishes) {
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  Process proc(Params(0.001, /*forever=*/true), &machine, 1,
+               std::make_unique<IdleSource>());
+  SimTimeUs now = 0;
+  for (int i = 0; i < 100; ++i, now += kUsPerMs)
+    EXPECT_FALSE(proc.RunQuantum(now, kUsPerMs));
+  EXPECT_FALSE(proc.finished());
+}
+
+TEST(ProcessTest, RssTracked) {
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  Process proc(Params(0.05), &machine, 1, std::make_unique<FixedSource>(64));
+  SimTimeUs now = 0;
+  while (!proc.finished()) {
+    proc.RunQuantum(now, kUsPerMs);
+    now += kUsPerMs;
+    ASSERT_LT(now, kUsPerSec);
+  }
+  const ProcessMetrics m = proc.Metrics(now);
+  EXPECT_EQ(m.peak_rss_bytes, 64 * kPageSize);
+  EXPECT_NEAR(m.avg_rss_bytes, 64.0 * kPageSize, static_cast<double>(kPageSize));
+  EXPECT_EQ(proc.ReadRssBytes(), 64 * kPageSize);
+}
+
+TEST(ProcessTest, ThpGainSpeedsUp) {
+  // Two identical processes; one gets its pages promoted to huge.
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  ProcessParams with_gain = Params(0.1);
+  with_gain.thp_gain = 0.5;
+  Process base(Params(0.1), &machine, 1,
+               std::make_unique<FixedSource>(kPagesPerHuge));
+  Process boosted(std::move(with_gain), &machine, 2,
+                  std::make_unique<FixedSource>(kPagesPerHuge));
+  // First quantum builds layouts; then promote the boosted one's pages.
+  base.RunQuantum(0, kUsPerMs);
+  boosted.RunQuantum(0, kUsPerMs);
+  boosted.space().PromoteRange(FixedSource::kBase,
+                               FixedSource::kBase + kHugePageSize, 0);
+  SimTimeUs now = kUsPerMs;
+  while (!base.finished() || !boosted.finished()) {
+    base.RunQuantum(now, kUsPerMs);
+    boosted.RunQuantum(now, kUsPerMs);
+    now += kUsPerMs;
+    ASSERT_LT(now, kUsPerSec);
+  }
+  EXPECT_LT(boosted.Metrics(now).runtime_s, base.Metrics(now).runtime_s);
+}
+
+TEST(ProcessTest, MetricsBeforeStartAreZero) {
+  Machine machine(MachineSpec{"t", 4, 3.0, GiB}, SwapConfig::Zram());
+  Process proc(Params(1.0), &machine, 1, std::make_unique<IdleSource>());
+  const ProcessMetrics m = proc.Metrics(0);
+  EXPECT_FALSE(m.finished);
+  EXPECT_DOUBLE_EQ(m.runtime_s, 0.0);
+}
+
+}  // namespace
+}  // namespace daos::sim

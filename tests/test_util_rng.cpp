@@ -1,0 +1,163 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace daos {
+namespace {
+
+TEST(SplitMix64, DeterministicStream) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Reseed(7);
+  EXPECT_EQ(a.NextU64(), first);
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Rng rng(11);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Rng, BoundedOneReturnsZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRoughlyUniformMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbabilityZeroAndOne) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, BoolFrequencyTracksProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextZipf(100, 0.9), 100u);
+  }
+}
+
+TEST(Rng, ZipfSmallNDegenerate) {
+  Rng rng(13);
+  EXPECT_EQ(rng.NextZipf(0, 0.9), 0u);
+  EXPECT_EQ(rng.NextZipf(1, 0.9), 0u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  const int n = 50000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(1000, 1.0) < 100) ++low;
+  }
+  // With s=1 roughly ln(101)/ln(1001) ~ 67 % of mass in the first 10 %.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Rng, ZipfExponentOneCovered) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextZipf(10, 1.0));
+  EXPECT_GE(seen.size(), 8u);  // nearly all ranks appear
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng fork = a.Fork();
+  // Forked stream should differ from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.NextU64() != fork.NextU64();
+  EXPECT_TRUE(any_diff);
+}
+
+class RngBoundednessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundednessTest, NeverExceedsBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 7);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundednessTest,
+                         ::testing::Values(2, 3, 7, 1000, 1u << 20,
+                                           std::uint64_t{1} << 40));
+
+}  // namespace
+}  // namespace daos

@@ -1,0 +1,68 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace daos {
+namespace {
+
+TEST(SplitWhitespaceTest, Basic) {
+  const auto toks = SplitWhitespace("a bb  ccc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "a");
+  EXPECT_EQ(toks[1], "bb");
+  EXPECT_EQ(toks[2], "ccc");
+}
+
+TEST(SplitWhitespaceTest, LeadingTrailingAndTabs) {
+  const auto toks = SplitWhitespace("\t  x\ty \n z  ");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "x");
+  EXPECT_EQ(toks[2], "z");
+}
+
+TEST(SplitWhitespaceTest, Empty) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(SplitCharTest, KeepsEmptyFields) {
+  const auto toks = SplitChar("a,,b,", ',');
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "a");
+  EXPECT_EQ(toks[1], "");
+  EXPECT_EQ(toks[2], "b");
+  EXPECT_EQ(toks[3], "");
+}
+
+TEST(SplitCharTest, NoDelimiter) {
+  const auto toks = SplitChar("abc", ',');
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0], "abc");
+}
+
+TEST(TrimWhitespaceTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  hi  "), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(StripCommentTest, Basic) {
+  EXPECT_EQ(StripComment("code # comment"), "code ");
+  EXPECT_EQ(StripComment("# all comment"), "");
+  EXPECT_EQ(StripComment("no comment"), "no comment");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("PageOut"), "pageout");
+  EXPECT_EQ(ToLower("2MB"), "2mb");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("parsec3/canneal", "parsec3"));
+  EXPECT_FALSE(StartsWith("parsec3", "parsec3/canneal"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace daos

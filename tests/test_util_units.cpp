@@ -1,0 +1,128 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace daos {
+namespace {
+
+TEST(ParseSizeTest, PlainBytes) {
+  EXPECT_EQ(ParseSize("4096"), 4096u);
+  EXPECT_EQ(ParseSize("0"), 0u);
+}
+
+TEST(ParseSizeTest, Suffixes) {
+  EXPECT_EQ(ParseSize("4K"), 4 * KiB);
+  EXPECT_EQ(ParseSize("4KB"), 4 * KiB);
+  EXPECT_EQ(ParseSize("4KiB"), 4 * KiB);
+  EXPECT_EQ(ParseSize("2M"), 2 * MiB);
+  EXPECT_EQ(ParseSize("2MB"), 2 * MiB);
+  EXPECT_EQ(ParseSize("1G"), GiB);
+  EXPECT_EQ(ParseSize("1T"), 1024 * GiB);
+}
+
+TEST(ParseSizeTest, CaseInsensitive) {
+  EXPECT_EQ(ParseSize("2mb"), 2 * MiB);
+  EXPECT_EQ(ParseSize("2Mb"), 2 * MiB);
+}
+
+TEST(ParseSizeTest, Fractional) { EXPECT_EQ(ParseSize("1.5K"), 1536u); }
+
+TEST(ParseSizeTest, Invalid) {
+  EXPECT_FALSE(ParseSize("abc").has_value());
+  EXPECT_FALSE(ParseSize("12X").has_value());
+  EXPECT_FALSE(ParseSize("").has_value());
+  EXPECT_FALSE(ParseSize("-4K").has_value());
+}
+
+TEST(ParseDurationTest, BareNumberIsSeconds) {
+  EXPECT_EQ(ParseDuration("5"), 5 * kUsPerSec);
+}
+
+TEST(ParseDurationTest, Suffixes) {
+  EXPECT_EQ(ParseDuration("250us"), 250u);
+  EXPECT_EQ(ParseDuration("5ms"), 5 * kUsPerMs);
+  EXPECT_EQ(ParseDuration("2s"), 2 * kUsPerSec);
+  EXPECT_EQ(ParseDuration("2m"), 2 * kUsPerMin);
+  EXPECT_EQ(ParseDuration("3min"), 3 * kUsPerMin);
+  EXPECT_EQ(ParseDuration("1h"), 60 * kUsPerMin);
+}
+
+TEST(ParseDurationTest, PaperListingValues) {
+  // Values straight from Listings 1 and 3.
+  EXPECT_EQ(ParseDuration("2m"), 2 * kUsPerMin);
+  EXPECT_EQ(ParseDuration("1m"), kUsPerMin);
+  EXPECT_EQ(ParseDuration("7s"), 7 * kUsPerSec);
+  EXPECT_EQ(ParseDuration("5s"), 5 * kUsPerSec);
+}
+
+TEST(ParseDurationTest, Invalid) {
+  EXPECT_FALSE(ParseDuration("fast").has_value());
+  EXPECT_FALSE(ParseDuration("5parsecs").has_value());
+}
+
+TEST(ParsePercentTest, PercentSuffix) {
+  EXPECT_DOUBLE_EQ(ParsePercent("80%").value(), 0.8);
+  EXPECT_DOUBLE_EQ(ParsePercent("5%").value(), 0.05);
+  EXPECT_DOUBLE_EQ(ParsePercent("0%").value(), 0.0);
+}
+
+TEST(ParsePercentTest, BareFraction) {
+  EXPECT_DOUBLE_EQ(ParsePercent("0.8").value(), 0.8);
+}
+
+TEST(ParsePercentTest, Invalid) {
+  EXPECT_FALSE(ParsePercent("eighty").has_value());
+  EXPECT_FALSE(ParsePercent("-10%").has_value());
+}
+
+TEST(FormatSizeTest, Ranges) {
+  EXPECT_EQ(FormatSize(512), "512B");
+  EXPECT_EQ(FormatSize(4 * KiB), "4.0K");
+  EXPECT_EQ(FormatSize(2 * MiB), "2.0M");
+  EXPECT_EQ(FormatSize(3 * GiB / 2), "1.5G");
+}
+
+TEST(FormatDurationTest, Ranges) {
+  EXPECT_EQ(FormatDuration(250), "250us");
+  EXPECT_EQ(FormatDuration(5 * kUsPerMs), "5ms");
+  EXPECT_EQ(FormatDuration(2 * kUsPerSec), "2s");
+  EXPECT_EQ(FormatDuration(2 * kUsPerMin), "2m");
+}
+
+TEST(FormatPercentTest, WholeAndFraction) {
+  EXPECT_EQ(FormatPercent(0.8), "80%");
+  EXPECT_EQ(FormatPercent(0.055), "5.50%");
+}
+
+// Round-trip property: format then parse returns the original value.
+class SizeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SizeRoundTrip, FormatParse) {
+  const std::uint64_t v = GetParam();
+  const auto parsed = ParseSize(FormatSize(v));
+  ASSERT_TRUE(parsed.has_value());
+  // Formatting rounds to one decimal; allow 5% slack.
+  EXPECT_NEAR(static_cast<double>(*parsed), static_cast<double>(v),
+              static_cast<double>(v) * 0.05 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeRoundTrip,
+                         ::testing::Values(1, 4096, 2 * MiB, 3 * GiB,
+                                           123456789));
+
+class DurationRoundTrip : public ::testing::TestWithParam<SimTimeUs> {};
+
+TEST_P(DurationRoundTrip, FormatParse) {
+  const SimTimeUs v = GetParam();
+  const auto parsed = ParseDuration(FormatDuration(v));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(static_cast<double>(*parsed), static_cast<double>(v),
+              static_cast<double>(v) * 0.001 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, DurationRoundTrip,
+                         ::testing::Values(1, 500, 5 * kUsPerMs, kUsPerSec,
+                                           90 * kUsPerSec, 2 * kUsPerMin));
+
+}  // namespace
+}  // namespace daos

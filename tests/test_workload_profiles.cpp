@@ -1,0 +1,130 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace daos::workload {
+namespace {
+
+TEST(ProfilesTest, TwentyFourWorkloads) {
+  // Paper §4: "we run 24 realistic workloads from Parsec3 and Splash-2x".
+  EXPECT_EQ(AllProfiles().size(), 24u);
+  int parsec = 0, splash = 0;
+  for (const WorkloadProfile& p : AllProfiles()) {
+    if (p.suite == "parsec3") ++parsec;
+    if (p.suite == "splash2x") ++splash;
+  }
+  EXPECT_EQ(parsec, 12);
+  EXPECT_EQ(splash, 12);
+}
+
+TEST(ProfilesTest, NamesUnique) {
+  std::set<std::string> names;
+  for (const WorkloadProfile& p : AllProfiles()) names.insert(p.name);
+  EXPECT_EQ(names.size(), 24u);
+}
+
+TEST(ProfilesTest, FindByName) {
+  const WorkloadProfile* p = FindProfile("parsec3/freqmine");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->suite, "parsec3");
+  EXPECT_EQ(FindProfile("parsec3/doesnotexist"), nullptr);
+}
+
+TEST(ProfilesTest, Figure4SubsetExists) {
+  const auto names = Figure4Names();
+  EXPECT_EQ(names.size(), 16u);  // the paper plots 16 of 24
+  for (const std::string& n : names) {
+    EXPECT_NE(FindProfile(n), nullptr) << n;
+  }
+}
+
+TEST(ProfilesTest, GroupsPartitionSanely) {
+  for (const WorkloadProfile& p : AllProfiles()) {
+    ASSERT_FALSE(p.groups.empty()) << p.name;
+    double total = 0.0;
+    for (const GroupSpec& g : p.groups) {
+      EXPECT_GT(g.size_frac, 0.0) << p.name;
+      EXPECT_GT(g.density, 0.0) << p.name;
+      EXPECT_LE(g.density, 1.0) << p.name;
+      total += g.size_frac;
+    }
+    EXPECT_LE(total, 1.0 + 1e-9) << p.name;
+    EXPECT_GT(total, 0.5) << p.name;  // most of the heap is described
+  }
+}
+
+TEST(ProfilesTest, EveryProfileHasAHotGroup) {
+  for (const WorkloadProfile& p : AllProfiles()) {
+    EXPECT_DOUBLE_EQ(p.groups.front().period_s, 0.0) << p.name;
+  }
+}
+
+TEST(ProfilesTest, RuntimesCompressed) {
+  // Design decision: nominal runtimes compressed into [60, 200] s.
+  for (const WorkloadProfile& p : AllProfiles()) {
+    EXPECT_GE(p.runtime_s, 55.0) << p.name;
+    EXPECT_LE(p.runtime_s, 200.0) << p.name;
+  }
+}
+
+TEST(ProfilesTest, FreqmineIsThePrclBestCase) {
+  // §4.2: freqmine achieves 91 % memory saving with 0.9 % slowdown, which
+  // requires a dominant cold fraction and a small hot set.
+  const WorkloadProfile* p = FindProfile("parsec3/freqmine");
+  ASSERT_NE(p, nullptr);
+  double cold = 0.0;
+  for (const GroupSpec& g : p->groups)
+    if (g.period_s < 0) cold += g.size_frac;
+  EXPECT_GT(cold, 0.85);
+  EXPECT_LT(static_cast<double>(p->HotBytes()) /
+                static_cast<double>(p->data_bytes),
+            0.15);
+}
+
+TEST(ProfilesTest, OceanNcpIsTheThpBestCase) {
+  // §4.2: ocean_ncp gets the largest THP gain (27.5 %) and bloat (82 %).
+  const WorkloadProfile* ocean = FindProfile("splash2x/ocean_ncp");
+  ASSERT_NE(ocean, nullptr);
+  for (const WorkloadProfile& p : AllProfiles()) {
+    EXPECT_LE(p.thp_gain, ocean->thp_gain) << p.name;
+  }
+  // Sparse blocks are what produces the bloat.
+  for (const GroupSpec& g : ocean->groups) EXPECT_LT(g.density, 0.7);
+}
+
+TEST(ProfilesTest, NoisyWorkloadsFlagged) {
+  // §3.4: canneal, streamcluster and x264 "vary too much so that it is
+  // hard to recognize the pattern".
+  for (const char* name :
+       {"parsec3/canneal", "parsec3/streamcluster", "parsec3/x264"}) {
+    const WorkloadProfile* p = FindProfile(name);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(p->noise, 0.05) << name;
+  }
+  EXPECT_LE(FindProfile("parsec3/freqmine")->noise, 0.02);
+}
+
+TEST(ProfilesTest, ExpectedRssBelowMapped) {
+  for (const WorkloadProfile& p : AllProfiles()) {
+    EXPECT_LE(p.ExpectedRssBytes(), p.data_bytes) << p.name;
+    EXPECT_GT(p.ExpectedRssBytes(), 0u) << p.name;
+  }
+}
+
+TEST(ProfilesTest, HotBytesSubsetOfRss) {
+  for (const WorkloadProfile& p : AllProfiles()) {
+    EXPECT_LE(p.HotBytes(), p.ExpectedRssBytes()) << p.name;
+  }
+}
+
+TEST(ProfilesTest, AddressSpaceSizesMatchFigure6Scale) {
+  // Figure 6 y-axes: ocean_ncp ~25 GB is the biggest; splash raytrace is
+  // tens of MiB.
+  EXPECT_GT(FindProfile("splash2x/ocean_ncp")->data_bytes, 16 * GiB);
+  EXPECT_LT(FindProfile("splash2x/raytrace")->data_bytes, 256 * MiB);
+}
+
+}  // namespace
+}  // namespace daos::workload

@@ -1,0 +1,72 @@
+#include "workload/serverless.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/system.hpp"
+
+namespace daos::workload {
+namespace {
+
+ServerlessConfig SmallConfig() {
+  ServerlessConfig c;
+  c.nr_processes = 2;
+  c.rss_per_process = 64 * MiB;
+  c.working_set_frac = 0.10;
+  return c;
+}
+
+TEST(ServerSourceTest, PopulatesWholeHeapAtStartup) {
+  sim::Machine machine(sim::MachineSpec{"t", 4, 3.0, 4 * GiB},
+                       sim::SwapConfig::Zram());
+  sim::AddressSpace space(1, &machine, 3.0);
+  ServerSource source(SmallConfig(), 1);
+  source.BuildLayout(space);
+  source.EmitQuantum(space, 0, 5 * kUsPerMs);
+  // The paper's §4.4 premise: RSS ~ 100 %, working set ~ 10 %.
+  EXPECT_EQ(space.resident_bytes(), 64 * MiB);
+}
+
+TEST(ServerSourceTest, WorkingSetStaysHotColdGoesIdle) {
+  sim::Machine machine(sim::MachineSpec{"t", 4, 3.0, 4 * GiB},
+                       sim::SwapConfig::Zram());
+  sim::AddressSpace space(1, &machine, 3.0);
+  ServerSource source(SmallConfig(), 1);
+  source.BuildLayout(space);
+  source.EmitQuantum(space, 0, 5 * kUsPerMs);
+
+  const Addr hot_probe = 0x20000000ULL;                 // head: working set
+  const Addr cold_probe = 0x20000000ULL + 32 * MiB;     // middle: bloat
+  space.MkOld(hot_probe, 10 * kUsPerMs);
+  space.MkOld(cold_probe, 10 * kUsPerMs);
+  for (SimTimeUs now = 10 * kUsPerMs; now < kUsPerSec; now += 5 * kUsPerMs)
+    source.EmitQuantum(space, now, 5 * kUsPerMs);
+  EXPECT_TRUE(space.IsYoung(hot_probe));
+  EXPECT_FALSE(space.IsYoung(cold_probe));
+}
+
+TEST(ServerSourceTest, RunsForever) {
+  const sim::ProcessParams p = ServerParams(SmallConfig(), 0);
+  EXPECT_TRUE(p.run_forever);
+  EXPECT_EQ(p.name, "server-0");
+}
+
+TEST(ServerlessFleetTest, FleetRssMatchesConfig) {
+  const ServerlessConfig config = SmallConfig();
+  sim::System system(sim::MachineSpec{"t", 8, 3.0, 8 * GiB},
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  for (int i = 0; i < config.nr_processes; ++i) {
+    system.AddProcess(ServerParams(config, i),
+                      std::make_unique<ServerSource>(config, 100 + i));
+  }
+  const sim::SystemMetrics m = system.Run(2 * kUsPerSec);
+  ASSERT_EQ(m.processes.size(), 2u);
+  for (const sim::ProcessMetrics& pm : m.processes) {
+    EXPECT_FALSE(pm.finished);
+    EXPECT_EQ(pm.final_rss_bytes, 64 * MiB);
+  }
+}
+
+}  // namespace
+}  // namespace daos::workload
