@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rw_asymmetry.dir/ext_rw_asymmetry.cpp.o"
+  "CMakeFiles/ext_rw_asymmetry.dir/ext_rw_asymmetry.cpp.o.d"
+  "ext_rw_asymmetry"
+  "ext_rw_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rw_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_rw_asymmetry.
+# This may be replaced when dependencies are built.

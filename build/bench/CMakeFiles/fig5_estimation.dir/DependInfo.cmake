@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_estimation.cpp" "bench/CMakeFiles/fig5_estimation.dir/fig5_estimation.cpp.o" "gcc" "bench/CMakeFiles/fig5_estimation.dir/fig5_estimation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/daos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/daos_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbgfs/CMakeFiles/daos_dbgfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/damos/CMakeFiles/daos_damos.dir/DependInfo.cmake"
+  "/root/repo/build/src/damon/CMakeFiles/daos_damon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/daos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/daos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

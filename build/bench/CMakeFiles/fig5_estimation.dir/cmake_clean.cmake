@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_estimation.dir/fig5_estimation.cpp.o"
+  "CMakeFiles/fig5_estimation.dir/fig5_estimation.cpp.o.d"
+  "fig5_estimation"
+  "fig5_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_heatmaps.dir/fig6_heatmaps.cpp.o"
+  "CMakeFiles/fig6_heatmaps.dir/fig6_heatmaps.cpp.o.d"
+  "fig6_heatmaps"
+  "fig6_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

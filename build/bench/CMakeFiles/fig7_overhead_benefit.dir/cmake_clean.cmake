@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overhead_benefit.dir/fig7_overhead_benefit.cpp.o"
+  "CMakeFiles/fig7_overhead_benefit.dir/fig7_overhead_benefit.cpp.o.d"
+  "fig7_overhead_benefit"
+  "fig7_overhead_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overhead_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_autotune.dir/fig8_autotune.cpp.o"
+  "CMakeFiles/fig8_autotune.dir/fig8_autotune.cpp.o.d"
+  "fig8_autotune"
+  "fig8_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

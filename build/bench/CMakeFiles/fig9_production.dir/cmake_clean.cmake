@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_production.dir/fig9_production.cpp.o"
+  "CMakeFiles/fig9_production.dir/fig9_production.cpp.o.d"
+  "fig9_production"
+  "fig9_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

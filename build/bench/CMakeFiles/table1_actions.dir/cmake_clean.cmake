@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_actions.dir/table1_actions.cpp.o"
+  "CMakeFiles/table1_actions.dir/table1_actions.cpp.o.d"
+  "table1_actions"
+  "table1_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

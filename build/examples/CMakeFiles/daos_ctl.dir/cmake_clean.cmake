@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_ctl.dir/daos_ctl.cpp.o"
+  "CMakeFiles/daos_ctl.dir/daos_ctl.cpp.o.d"
+  "daos_ctl"
+  "daos_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

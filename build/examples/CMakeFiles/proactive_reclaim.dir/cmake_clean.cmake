@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_reclaim.dir/proactive_reclaim.cpp.o"
+  "CMakeFiles/proactive_reclaim.dir/proactive_reclaim.cpp.o.d"
+  "proactive_reclaim"
+  "proactive_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

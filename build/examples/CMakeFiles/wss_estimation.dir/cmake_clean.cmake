@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_estimation.dir/wss_estimation.cpp.o"
+  "CMakeFiles/wss_estimation.dir/wss_estimation.cpp.o.d"
+  "wss_estimation"
+  "wss_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/daos_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/daos_analysis.dir/heatmap.cpp.o"
+  "CMakeFiles/daos_analysis.dir/heatmap.cpp.o.d"
+  "CMakeFiles/daos_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/daos_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/daos_analysis.dir/report.cpp.o"
+  "CMakeFiles/daos_analysis.dir/report.cpp.o.d"
+  "libdaos_analysis.a"
+  "libdaos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/polyfit.cpp" "src/autotune/CMakeFiles/daos_autotune.dir/polyfit.cpp.o" "gcc" "src/autotune/CMakeFiles/daos_autotune.dir/polyfit.cpp.o.d"
+  "/root/repo/src/autotune/runtime.cpp" "src/autotune/CMakeFiles/daos_autotune.dir/runtime.cpp.o" "gcc" "src/autotune/CMakeFiles/daos_autotune.dir/runtime.cpp.o.d"
+  "/root/repo/src/autotune/score.cpp" "src/autotune/CMakeFiles/daos_autotune.dir/score.cpp.o" "gcc" "src/autotune/CMakeFiles/daos_autotune.dir/score.cpp.o.d"
+  "/root/repo/src/autotune/tuner.cpp" "src/autotune/CMakeFiles/daos_autotune.dir/tuner.cpp.o" "gcc" "src/autotune/CMakeFiles/daos_autotune.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbgfs/CMakeFiles/daos_dbgfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/damos/CMakeFiles/daos_damos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/daos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/damon/CMakeFiles/daos_damon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

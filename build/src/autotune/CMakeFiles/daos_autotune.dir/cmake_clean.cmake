@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_autotune.dir/polyfit.cpp.o"
+  "CMakeFiles/daos_autotune.dir/polyfit.cpp.o.d"
+  "CMakeFiles/daos_autotune.dir/runtime.cpp.o"
+  "CMakeFiles/daos_autotune.dir/runtime.cpp.o.d"
+  "CMakeFiles/daos_autotune.dir/score.cpp.o"
+  "CMakeFiles/daos_autotune.dir/score.cpp.o.d"
+  "CMakeFiles/daos_autotune.dir/tuner.cpp.o"
+  "CMakeFiles/daos_autotune.dir/tuner.cpp.o.d"
+  "libdaos_autotune.a"
+  "libdaos_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

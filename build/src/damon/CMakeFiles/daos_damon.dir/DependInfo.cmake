@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/damon/monitor.cpp" "src/damon/CMakeFiles/daos_damon.dir/monitor.cpp.o" "gcc" "src/damon/CMakeFiles/daos_damon.dir/monitor.cpp.o.d"
+  "/root/repo/src/damon/primitives.cpp" "src/damon/CMakeFiles/daos_damon.dir/primitives.cpp.o" "gcc" "src/damon/CMakeFiles/daos_damon.dir/primitives.cpp.o.d"
+  "/root/repo/src/damon/recorder.cpp" "src/damon/CMakeFiles/daos_damon.dir/recorder.cpp.o" "gcc" "src/damon/CMakeFiles/daos_damon.dir/recorder.cpp.o.d"
+  "/root/repo/src/damon/trace.cpp" "src/damon/CMakeFiles/daos_damon.dir/trace.cpp.o" "gcc" "src/damon/CMakeFiles/daos_damon.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/daos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/daos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

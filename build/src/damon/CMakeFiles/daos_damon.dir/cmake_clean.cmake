@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_damon.dir/monitor.cpp.o"
+  "CMakeFiles/daos_damon.dir/monitor.cpp.o.d"
+  "CMakeFiles/daos_damon.dir/primitives.cpp.o"
+  "CMakeFiles/daos_damon.dir/primitives.cpp.o.d"
+  "CMakeFiles/daos_damon.dir/recorder.cpp.o"
+  "CMakeFiles/daos_damon.dir/recorder.cpp.o.d"
+  "CMakeFiles/daos_damon.dir/trace.cpp.o"
+  "CMakeFiles/daos_damon.dir/trace.cpp.o.d"
+  "libdaos_damon.a"
+  "libdaos_damon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_damon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

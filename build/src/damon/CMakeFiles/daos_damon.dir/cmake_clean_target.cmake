@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaos_damon.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for daos_damon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/damos/engine.cpp" "src/damos/CMakeFiles/daos_damos.dir/engine.cpp.o" "gcc" "src/damos/CMakeFiles/daos_damos.dir/engine.cpp.o.d"
+  "/root/repo/src/damos/parser.cpp" "src/damos/CMakeFiles/daos_damos.dir/parser.cpp.o" "gcc" "src/damos/CMakeFiles/daos_damos.dir/parser.cpp.o.d"
+  "/root/repo/src/damos/scheme.cpp" "src/damos/CMakeFiles/daos_damos.dir/scheme.cpp.o" "gcc" "src/damos/CMakeFiles/daos_damos.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/damon/CMakeFiles/daos_damon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/daos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_damos.dir/engine.cpp.o"
+  "CMakeFiles/daos_damos.dir/engine.cpp.o.d"
+  "CMakeFiles/daos_damos.dir/parser.cpp.o"
+  "CMakeFiles/daos_damos.dir/parser.cpp.o.d"
+  "CMakeFiles/daos_damos.dir/scheme.cpp.o"
+  "CMakeFiles/daos_damos.dir/scheme.cpp.o.d"
+  "libdaos_damos.a"
+  "libdaos_damos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_damos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbgfs/damon_dbgfs.cpp" "src/dbgfs/CMakeFiles/daos_dbgfs.dir/damon_dbgfs.cpp.o" "gcc" "src/dbgfs/CMakeFiles/daos_dbgfs.dir/damon_dbgfs.cpp.o.d"
+  "/root/repo/src/dbgfs/procfs.cpp" "src/dbgfs/CMakeFiles/daos_dbgfs.dir/procfs.cpp.o" "gcc" "src/dbgfs/CMakeFiles/daos_dbgfs.dir/procfs.cpp.o.d"
+  "/root/repo/src/dbgfs/pseudo_fs.cpp" "src/dbgfs/CMakeFiles/daos_dbgfs.dir/pseudo_fs.cpp.o" "gcc" "src/dbgfs/CMakeFiles/daos_dbgfs.dir/pseudo_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/damos/CMakeFiles/daos_damos.dir/DependInfo.cmake"
+  "/root/repo/build/src/damon/CMakeFiles/daos_damon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/daos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_dbgfs.dir/damon_dbgfs.cpp.o"
+  "CMakeFiles/daos_dbgfs.dir/damon_dbgfs.cpp.o.d"
+  "CMakeFiles/daos_dbgfs.dir/procfs.cpp.o"
+  "CMakeFiles/daos_dbgfs.dir/procfs.cpp.o.d"
+  "CMakeFiles/daos_dbgfs.dir/pseudo_fs.cpp.o"
+  "CMakeFiles/daos_dbgfs.dir/pseudo_fs.cpp.o.d"
+  "libdaos_dbgfs.a"
+  "libdaos_dbgfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_dbgfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_space.cpp" "src/sim/CMakeFiles/daos_sim.dir/address_space.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/address_space.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/daos_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/daos_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/reclaim.cpp" "src/sim/CMakeFiles/daos_sim.dir/reclaim.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/reclaim.cpp.o.d"
+  "/root/repo/src/sim/swap.cpp" "src/sim/CMakeFiles/daos_sim.dir/swap.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/swap.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/daos_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/thp.cpp" "src/sim/CMakeFiles/daos_sim.dir/thp.cpp.o" "gcc" "src/sim/CMakeFiles/daos_sim.dir/thp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/daos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_sim.dir/address_space.cpp.o"
+  "CMakeFiles/daos_sim.dir/address_space.cpp.o.d"
+  "CMakeFiles/daos_sim.dir/machine.cpp.o"
+  "CMakeFiles/daos_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/daos_sim.dir/process.cpp.o"
+  "CMakeFiles/daos_sim.dir/process.cpp.o.d"
+  "CMakeFiles/daos_sim.dir/reclaim.cpp.o"
+  "CMakeFiles/daos_sim.dir/reclaim.cpp.o.d"
+  "CMakeFiles/daos_sim.dir/swap.cpp.o"
+  "CMakeFiles/daos_sim.dir/swap.cpp.o.d"
+  "CMakeFiles/daos_sim.dir/system.cpp.o"
+  "CMakeFiles/daos_sim.dir/system.cpp.o.d"
+  "CMakeFiles/daos_sim.dir/thp.cpp.o"
+  "CMakeFiles/daos_sim.dir/thp.cpp.o.d"
+  "libdaos_sim.a"
+  "libdaos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_util.dir/rng.cpp.o"
+  "CMakeFiles/daos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/daos_util.dir/stats.cpp.o"
+  "CMakeFiles/daos_util.dir/stats.cpp.o.d"
+  "CMakeFiles/daos_util.dir/strings.cpp.o"
+  "CMakeFiles/daos_util.dir/strings.cpp.o.d"
+  "CMakeFiles/daos_util.dir/units.cpp.o"
+  "CMakeFiles/daos_util.dir/units.cpp.o.d"
+  "libdaos_util.a"
+  "libdaos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daos_workload.dir/generator.cpp.o"
+  "CMakeFiles/daos_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/daos_workload.dir/parsec.cpp.o"
+  "CMakeFiles/daos_workload.dir/parsec.cpp.o.d"
+  "CMakeFiles/daos_workload.dir/profile.cpp.o"
+  "CMakeFiles/daos_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/daos_workload.dir/serverless.cpp.o"
+  "CMakeFiles/daos_workload.dir/serverless.cpp.o.d"
+  "libdaos_workload.a"
+  "libdaos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

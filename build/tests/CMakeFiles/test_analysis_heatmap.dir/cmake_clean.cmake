@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_heatmap.dir/test_analysis_heatmap.cpp.o"
+  "CMakeFiles/test_analysis_heatmap.dir/test_analysis_heatmap.cpp.o.d"
+  "test_analysis_heatmap"
+  "test_analysis_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

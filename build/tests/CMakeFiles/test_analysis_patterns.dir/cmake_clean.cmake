@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_patterns.dir/test_analysis_patterns.cpp.o"
+  "CMakeFiles/test_analysis_patterns.dir/test_analysis_patterns.cpp.o.d"
+  "test_analysis_patterns"
+  "test_analysis_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotune_polyfit.dir/test_autotune_polyfit.cpp.o"
+  "CMakeFiles/test_autotune_polyfit.dir/test_autotune_polyfit.cpp.o.d"
+  "test_autotune_polyfit"
+  "test_autotune_polyfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotune_polyfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotune_runtime.dir/test_autotune_runtime.cpp.o"
+  "CMakeFiles/test_autotune_runtime.dir/test_autotune_runtime.cpp.o.d"
+  "test_autotune_runtime"
+  "test_autotune_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotune_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotune_score.dir/test_autotune_score.cpp.o"
+  "CMakeFiles/test_autotune_score.dir/test_autotune_score.cpp.o.d"
+  "test_autotune_score"
+  "test_autotune_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotune_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotune_tuner.dir/test_autotune_tuner.cpp.o"
+  "CMakeFiles/test_autotune_tuner.dir/test_autotune_tuner.cpp.o.d"
+  "test_autotune_tuner"
+  "test_autotune_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotune_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damon_invariants.dir/test_damon_invariants.cpp.o"
+  "CMakeFiles/test_damon_invariants.dir/test_damon_invariants.cpp.o.d"
+  "test_damon_invariants"
+  "test_damon_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damon_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damon_monitor.dir/test_damon_monitor.cpp.o"
+  "CMakeFiles/test_damon_monitor.dir/test_damon_monitor.cpp.o.d"
+  "test_damon_monitor"
+  "test_damon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

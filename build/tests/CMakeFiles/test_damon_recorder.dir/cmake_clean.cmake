@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damon_recorder.dir/test_damon_recorder.cpp.o"
+  "CMakeFiles/test_damon_recorder.dir/test_damon_recorder.cpp.o.d"
+  "test_damon_recorder"
+  "test_damon_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damon_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

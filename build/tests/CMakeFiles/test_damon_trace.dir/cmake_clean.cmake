@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damon_trace.dir/test_damon_trace.cpp.o"
+  "CMakeFiles/test_damon_trace.dir/test_damon_trace.cpp.o.d"
+  "test_damon_trace"
+  "test_damon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

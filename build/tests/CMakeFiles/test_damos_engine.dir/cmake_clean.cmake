@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damos_engine.dir/test_damos_engine.cpp.o"
+  "CMakeFiles/test_damos_engine.dir/test_damos_engine.cpp.o.d"
+  "test_damos_engine"
+  "test_damos_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damos_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

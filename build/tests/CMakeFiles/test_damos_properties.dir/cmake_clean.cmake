@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damos_properties.dir/test_damos_properties.cpp.o"
+  "CMakeFiles/test_damos_properties.dir/test_damos_properties.cpp.o.d"
+  "test_damos_properties"
+  "test_damos_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damos_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

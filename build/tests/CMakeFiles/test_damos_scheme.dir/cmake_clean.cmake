@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damos_scheme.dir/test_damos_scheme.cpp.o"
+  "CMakeFiles/test_damos_scheme.dir/test_damos_scheme.cpp.o.d"
+  "test_damos_scheme"
+  "test_damos_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damos_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbgfs.dir/test_dbgfs.cpp.o"
+  "CMakeFiles/test_dbgfs.dir/test_dbgfs.cpp.o.d"
+  "test_dbgfs"
+  "test_dbgfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbgfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_address_space.dir/test_sim_address_space.cpp.o"
+  "CMakeFiles/test_sim_address_space.dir/test_sim_address_space.cpp.o.d"
+  "test_sim_address_space"
+  "test_sim_address_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

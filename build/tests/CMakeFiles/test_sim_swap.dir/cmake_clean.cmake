@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_swap.dir/test_sim_swap.cpp.o"
+  "CMakeFiles/test_sim_swap.dir/test_sim_swap.cpp.o.d"
+  "test_sim_swap"
+  "test_sim_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_thp.dir/test_sim_thp.cpp.o"
+  "CMakeFiles/test_sim_thp.dir/test_sim_thp.cpp.o.d"
+  "test_sim_thp"
+  "test_sim_thp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_thp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_serverless.dir/test_workload_serverless.cpp.o"
+  "CMakeFiles/test_workload_serverless.dir/test_workload_serverless.cpp.o.d"
+  "test_workload_serverless"
+  "test_workload_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
