@@ -47,12 +47,14 @@ int main() {
       rows[config] = analysis::Normalize(run, base);
       perf_stats[config].Add(rows[config].performance);
       mem_stats[config].Add(rows[config].memory_efficiency);
+      // Monitor CPU use comes from the unified telemetry plane, the same
+      // gauge every other consumer (dbgfs, exporters) reads.
       if (config == analysis::Config::kRec) {
-        rec_cpu.Add(run.monitor_cpu_fraction);
+        rec_cpu.Add(run.telemetry.Value("damon.ctx0.cpu_fraction"));
         worst_rec_perf = std::min(worst_rec_perf, rows[config].performance);
       }
       if (config == analysis::Config::kPrec) {
-        prec_cpu.Add(run.monitor_cpu_fraction);
+        prec_cpu.Add(run.telemetry.Value("damon.ctx0.cpu_fraction"));
         worst_prec_perf = std::min(worst_prec_perf, rows[config].performance);
       }
     }

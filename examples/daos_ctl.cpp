@@ -17,7 +17,10 @@
 #include "damon/trace.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
 #include "dbgfs/procfs.hpp"
+#include "dbgfs/telemetry_fs.hpp"
 #include "sim/system.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
 #include "util/units.hpp"
 #include "workload/generator.hpp"
 #include "workload/profile.hpp"
@@ -60,6 +63,14 @@ int main() {
   damon::Recorder recorder;
   recorder.Attach(damon_fs.context(), /*every=*/kUsPerSec);
 
+  // The unified telemetry plane: monitor + schemes + system publish into
+  // one registry/ring, exposed read-only under /telemetry.
+  telemetry::MetricsRegistry metrics;
+  telemetry::TraceBuffer trace(1024);
+  damon_fs.SetTelemetry(metrics, &trace);
+  system.AttachTelemetry(&metrics, &trace);
+  dbgfs::TelemetryFs telemetry_fs(&fs, &metrics, &trace);
+
   std::printf("workload %s started as pid %d\n\n", profile->name.c_str(),
               proc.pid());
 
@@ -80,6 +91,8 @@ int main() {
 
   std::printf("\n");
   Cat(fs, "/damon/schemes");
+  std::printf("\n");
+  Cat(fs, "/telemetry/metrics");
   Echo(fs, "off", "/damon/monitor_on");
 
   // Save the monitoring record and render its heatmap, Figure-6 style.

@@ -73,6 +73,11 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
       config == Config::kThp ? sim::ThpMode::kAlways : sim::ThpMode::kNever;
   sim::System system(guest, options.swap, thp, options.quantum);
 
+  // Every run carries the unified telemetry plane; the snapshot taken at
+  // the end outlives the registry and ships in the result.
+  telemetry::MetricsRegistry registry;
+  system.AttachTelemetry(&registry);
+
   sim::Process& proc = system.AddProcess(
       workload::ToProcessParams(profile),
       workload::MakeSource(profile, options.seed));
@@ -101,9 +106,11 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
     } else if (config == Config::kPrcl) {
       schemes = PrclSchemes();
     }
+    ctx->BindTelemetry(registry);
     if (!schemes.empty()) {
       engine.Install(std::move(schemes));
       engine.Attach(*ctx);
+      engine.BindTelemetry(registry);
     }
     if (recorder != nullptr) recorder->Attach(*ctx);
 
@@ -125,9 +132,14 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
   result.major_faults = pm.major_faults;
   result.interference_s = pm.interference_s;
   if (ctx) {
-    result.monitor_cpu_fraction =
-        ctx->CpuFraction(static_cast<SimTimeUs>(metrics.elapsed_s * kUsPerSec));
+    registry.GetGauge("damon.ctx0.cpu_fraction")
+        .Set(ctx->CpuFraction(
+            static_cast<SimTimeUs>(metrics.elapsed_s * kUsPerSec)));
   }
+  result.telemetry = registry.Snapshot();
+  // Read back through the telemetry plane — the registry, not the private
+  // counters struct, is the source all consumers share.
+  result.monitor_cpu_fraction = result.telemetry.Value("damon.ctx0.cpu_fraction");
   for (const damos::Scheme& s : engine.schemes())
     result.scheme_stats.push_back(s.stats());
 

@@ -20,6 +20,7 @@
 #include "damon/recorder.hpp"
 #include "damos/scheme.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/profile.hpp"
 
 namespace daos::analysis {
@@ -54,9 +55,14 @@ struct ExperimentResult {
   double avg_rss_bytes = 0.0;
   std::uint64_t peak_rss_bytes = 0;
   std::uint64_t major_faults = 0;
-  double monitor_cpu_fraction = 0.0;  // of one CPU
+  double monitor_cpu_fraction = 0.0;  // of one CPU; == telemetry value below
   double interference_s = 0.0;
   std::vector<damos::SchemeStats> scheme_stats;
+  /// Final state of the run's metrics registry (every run gets one):
+  /// "damon.ctx0.*" mirror of the monitor counters plus
+  /// "damon.ctx0.cpu_fraction", "damos.scheme<i>.*" DAMOS stats, "sim.*"
+  /// machine/swap gauges and counters.
+  telemetry::MetricsSnapshot telemetry;
 };
 
 /// Runs `profile` on `options.host`'s guest under `config`.

@@ -53,6 +53,7 @@ TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
 
 TunerResult DbgfsRuntime::Tune(const damos::Scheme& base) {
   AutoTuner tuner(config_);
+  if (registry_ != nullptr) tuner.BindTelemetry(*registry_, trace_);
   return tuner.Tune(base,
                     [this](const damos::Scheme* s) { return RunOnce(s); });
 }

@@ -15,6 +15,8 @@
 #include "dbgfs/damon_dbgfs.hpp"
 #include "dbgfs/procfs.hpp"
 #include "sim/system.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
 
 namespace daos::autotune {
 
@@ -51,12 +53,22 @@ class DbgfsRuntime {
   /// Trials executed so far (baseline + samples + verifications).
   int trials() const noexcept { return trials_; }
 
+  /// Forwards telemetry to the AutoTuner driving Tune() (per-step score
+  /// gauges and kTuneStep tracepoints under "autotune.*").
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     telemetry::TraceBuffer* trace = nullptr) {
+    registry_ = &registry;
+    trace_ = trace;
+  }
+
  private:
   EnvFactory factory_;
   TunerConfig config_;
   SimTimeUs max_trial_time_;
   SimTimeUs rss_poll_interval_;
   int trials_ = 0;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace daos::autotune

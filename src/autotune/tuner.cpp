@@ -11,6 +11,14 @@ AutoTuner::AutoTuner(TunerConfig config, std::unique_ptr<ScoreFunction> score)
                    : std::make_unique<DefaultScoreFunction>()),
       rng_(config.seed) {}
 
+void AutoTuner::BindTelemetry(telemetry::MetricsRegistry& registry,
+                              telemetry::TraceBuffer* trace,
+                              std::string_view prefix) {
+  registry_ = &registry;
+  trace_ = trace;
+  prefix_ = std::string(prefix);
+}
+
 TunerResult AutoTuner::Tune(const damos::Scheme& base,
                             const TrialRunner& runner) {
   TunerResult result;
@@ -33,6 +41,21 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     const TrialMeasurement m = runner(&candidate);
     const double score = score_->Score(m, result.baseline);
     result.samples.push_back(TunerSample{min_age, score, exploration});
+    if (registry_ != nullptr) {
+      registry_->GetCounter(prefix_ + ".steps").Add(1);
+      registry_->GetGauge(prefix_ + ".last_score").Set(score);
+      registry_->GetGauge(prefix_ + ".last_min_age_us")
+          .Set(static_cast<double>(min_age));
+    }
+    if (trace_ != nullptr) {
+      // kTuneStep: id=1 for exploration / 0 for local search,
+      // arg0=min_age_us, arg1=score in micro-units (two's complement).
+      trace_->Push({0, telemetry::EventKind::kTuneStep,
+                    exploration ? 1u : 0u, min_age,
+                    static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(score * 1e6)),
+                    0});
+    }
   };
 
   // Phase 1: global random exploration of the aggressiveness space.
@@ -102,6 +125,12 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     result.predicted_score = best->score;
   }
   result.tuned.bounds().min_age = result.best_min_age;
+  if (registry_ != nullptr) {
+    registry_->GetGauge(prefix_ + ".best_min_age_us")
+        .Set(static_cast<double>(result.best_min_age));
+    registry_->GetGauge(prefix_ + ".predicted_score")
+        .Set(result.predicted_score);
+  }
   return result;
 }
 

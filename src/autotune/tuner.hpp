@@ -21,6 +21,8 @@
 #include "autotune/polyfit.hpp"
 #include "autotune/score.hpp"
 #include "damos/scheme.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -75,10 +77,22 @@ class AutoTuner {
   /// Tunes `base` (its min_age is the knob) against `runner`.
   TunerResult Tune(const damos::Scheme& base, const TrialRunner& runner);
 
+  /// Publishes per-step tuning progress: "<prefix>.steps" counter,
+  /// "<prefix>.last_score" / "<prefix>.last_min_age_us" gauges after every
+  /// sample trial, "<prefix>.best_min_age_us" / "<prefix>.predicted_score"
+  /// when Tune() concludes, and a kTuneStep tracepoint per trial when
+  /// `trace` is non-null.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     telemetry::TraceBuffer* trace = nullptr,
+                     std::string_view prefix = "autotune");
+
  private:
   TunerConfig config_;
   std::unique_ptr<ScoreFunction> score_;
   Rng rng_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::TraceBuffer* trace_ = nullptr;
+  std::string prefix_ = "autotune";
 };
 
 }  // namespace daos::autotune

@@ -19,6 +19,28 @@ DamonContext::DamonContext(MonitoringAttrs attrs, std::uint64_t seed,
       rng_(seed),
       interference_per_sample_us_(interference_per_sample_us) {}
 
+void DamonContext::BindTelemetry(telemetry::MetricsRegistry& registry,
+                                 telemetry::TraceBuffer* trace,
+                                 std::string_view prefix) {
+  const std::string p(prefix);
+  tel_.samples = &registry.GetCounter(p + ".samples");
+  tel_.aggregations = &registry.GetCounter(p + ".aggregations");
+  tel_.region_splits = &registry.GetCounter(p + ".region_splits");
+  tel_.region_merges = &registry.GetCounter(p + ".region_merges");
+  tel_.regions_updates = &registry.GetCounter(p + ".regions_updates");
+  tel_.cpu_us = &registry.GetGauge(p + ".cpu_us");
+  tel_.nr_regions = &registry.GetGauge(p + ".nr_regions");
+  trace_ = trace;
+  // Catch up on anything counted before binding, so mirror == counters_.
+  tel_.samples->Add(counters_.samples);
+  tel_.aggregations->Add(counters_.aggregations);
+  tel_.region_splits->Add(counters_.region_splits);
+  tel_.region_merges->Add(counters_.region_merges);
+  tel_.regions_updates->Add(counters_.regions_updates);
+  tel_.cpu_us->Set(counters_.cpu_us);
+  tel_.nr_regions->Set(TotalRegions());
+}
+
 DamonTarget& DamonContext::AddTarget(std::unique_ptr<Primitives> primitives) {
   targets_.push_back(DamonTarget{std::move(primitives), {}});
   target_layout_gens_.push_back(~0ull);
@@ -69,6 +91,7 @@ void DamonContext::InitRegionsFor(DamonTarget& target) {
 }
 
 void DamonContext::PrepareAccessChecks(SimTimeUs now) {
+  std::uint64_t sampled = 0;
   for (DamonTarget& target : targets_) {
     for (Region& r : target.regions) {
       // Pick a fresh random sample page and clear its accessed state; the
@@ -78,9 +101,11 @@ void DamonContext::PrepareAccessChecks(SimTimeUs now) {
           r.start + AlignDown(rng_.NextBounded(pages) * kPageSize, kPageSize);
       target.primitives->MkOld(r.sampling_addr, now);
       ++counters_.samples;
+      ++sampled;
       counters_.cpu_us += target.primitives->CheckCostUs() * 0.5;
     }
   }
+  if (tel_.samples != nullptr) tel_.samples->Add(sampled);
 }
 
 void DamonContext::CheckAccesses() {
@@ -143,6 +168,12 @@ void DamonContext::MergeRegions(DamonTarget& target, std::uint32_t threshold,
           (prev.age * w_prev + cur.age * w_cur) / wsum);
       prev.end = cur.end;
       ++counters_.region_merges;
+      if (tel_.region_merges != nullptr) tel_.region_merges->Add(1);
+      if (trace_ != nullptr) {
+        // kRegionMerge: id=0, arg0..1=merged range, arg2=combined accesses.
+        trace_->Push({tel_now_, telemetry::EventKind::kRegionMerge, 0,
+                      prev.start, prev.end, prev.nr_accesses});
+      }
     } else {
       merged.push_back(cur);
     }
@@ -181,6 +212,12 @@ void DamonContext::SplitRegions(DamonTarget& target) {
       out.push_back(left);
       rest.start = left.end;
       ++counters_.region_splits;
+      if (tel_.region_splits != nullptr) tel_.region_splits->Add(1);
+      if (trace_ != nullptr) {
+        // kRegionSplit: id=0, arg0..1=left child range, arg2=parent end.
+        trace_->Push({tel_now_, telemetry::EventKind::kRegionSplit, 0,
+                      left.start, left.end, rest.end});
+      }
     }
     out.push_back(rest);
   }
@@ -224,6 +261,7 @@ void DamonContext::UpdateRegions(DamonTarget& target) {
   target.regions = std::move(final_regions);
   if (target.regions.empty()) InitRegionsFor(target);
   ++counters_.regions_updates;
+  if (tel_.regions_updates != nullptr) tel_.regions_updates->Add(1);
 }
 
 void DamonContext::ResetAggregated() {
@@ -233,7 +271,24 @@ void DamonContext::ResetAggregated() {
 }
 
 void DamonContext::Aggregate(SimTimeUs now) {
+  tel_now_ = now;
   ++counters_.aggregations;
+  if (tel_.aggregations != nullptr) tel_.aggregations->Add(1);
+  if (trace_ != nullptr) {
+    // The damon_aggregated tracepoint analogue: one kSample event per
+    // region with its final counts, then the window-close marker.
+    std::uint32_t target_idx = 0;
+    for (const DamonTarget& target : targets_) {
+      for (const Region& r : target.regions) {
+        trace_->Push({now, telemetry::EventKind::kSample, target_idx, r.start,
+                      r.end,
+                      (std::uint64_t{r.age} << 32) | r.nr_accesses});
+      }
+      ++target_idx;
+    }
+    trace_->Push({now, telemetry::EventKind::kAggregation, 0, TotalRegions(),
+                  counters_.samples, 0});
+  }
   // 1. User callbacks see the final counts of this window (schemes engine,
   //    recorder, ...).
   for (AggregationHook& hook : hooks_) hook(*this, now);
@@ -269,6 +324,7 @@ void DamonContext::Aggregate(SimTimeUs now) {
 
 double DamonContext::Step(SimTimeUs now, SimTimeUs quantum) {
   (void)quantum;
+  tel_now_ = now;
   double interference = 0.0;
 
   // Lazy region initialization (targets may be added before layout exists).
@@ -308,6 +364,10 @@ double DamonContext::Step(SimTimeUs now, SimTimeUs quantum) {
     PrepareAccessChecks(now);
     interference += interference_per_sample_us_ * TotalRegions();
     next_sample_ += attrs_.sampling_interval;
+  }
+  if (tel_.cpu_us != nullptr) {
+    tel_.cpu_us->Set(counters_.cpu_us);
+    tel_.nr_regions->Set(TotalRegions());
   }
   return interference;
 }

@@ -21,6 +21,8 @@
 #include "damon/attrs.hpp"
 #include "damon/primitives.hpp"
 #include "damon/region.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -74,6 +76,17 @@ class DamonContext {
   const MonitorCounters& counters() const noexcept { return counters_; }
   std::uint32_t TotalRegions() const;
 
+  /// Publishes the context's counters through `registry` under `prefix`
+  /// ("<prefix>.samples", "<prefix>.cpu_us", ...) and, when `trace` is
+  /// non-null, emits structured tracepoints (per-region kSample at each
+  /// aggregation — the damon_aggregated analogue — plus region
+  /// split/merge events). The registry updates are live pointer
+  /// increments mirroring `counters_`; both must outlive the context's
+  /// stepping.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     telemetry::TraceBuffer* trace = nullptr,
+                     std::string_view prefix = "damon.ctx0");
+
   /// Monitor CPU consumption as a fraction of one CPU over [0, now].
   double CpuFraction(SimTimeUs now) const {
     return now == 0 ? 0.0 : counters_.cpu_us / static_cast<double>(now);
@@ -107,6 +120,22 @@ class DamonContext {
   SimTimeUs next_update_ = 0;
   std::vector<std::uint64_t> target_layout_gens_;
   MonitorCounters counters_;
+
+  // Telemetry mirror (null when unbound; resolved once in BindTelemetry so
+  // hot paths pay a plain increment through a stable pointer).
+  struct {
+    telemetry::Counter* samples = nullptr;
+    telemetry::Counter* aggregations = nullptr;
+    telemetry::Counter* region_splits = nullptr;
+    telemetry::Counter* region_merges = nullptr;
+    telemetry::Counter* regions_updates = nullptr;
+    telemetry::Gauge* cpu_us = nullptr;
+    telemetry::Gauge* nr_regions = nullptr;
+  } tel_;
+  telemetry::TraceBuffer* trace_ = nullptr;
+  // Timestamp for tracepoints emitted from stages whose signatures carry
+  // no clock (MergeRegions/SplitRegions); maintained by Step()/Aggregate().
+  SimTimeUs tel_now_ = 0;
 };
 
 }  // namespace daos::damon

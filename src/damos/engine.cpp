@@ -27,11 +27,37 @@ bool SchemesEngine::InstallFromText(std::string_view text,
   return true;
 }
 
+void SchemesEngine::BindTelemetry(telemetry::MetricsRegistry& registry,
+                                  telemetry::TraceBuffer* trace,
+                                  std::string_view prefix) {
+  registry_ = &registry;
+  trace_ = trace;
+  prefix_ = std::string(prefix);
+  RebindInstruments();
+}
+
+void SchemesEngine::RebindInstruments() {
+  instruments_.clear();
+  if (registry_ == nullptr) return;
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    const std::string base = prefix_ + ".scheme" + std::to_string(i) + ".";
+    instruments_.push_back(SchemeInstruments{
+        &registry_->GetCounter(base + "nr_tried"),
+        &registry_->GetCounter(base + "sz_tried"),
+        &registry_->GetCounter(base + "nr_applied"),
+        &registry_->GetCounter(base + "sz_applied"),
+    });
+  }
+}
+
 void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
+  if (registry_ != nullptr && instruments_.size() != schemes_.size())
+    RebindInstruments();  // schemes were reinstalled since the last pass
   const damon::MonitoringAttrs& attrs = ctx.attrs();
   for (damon::DamonTarget& target : ctx.targets()) {
     for (damon::Region& region : target.regions) {
-      for (Scheme& scheme : schemes_) {
+      for (std::size_t si = 0; si < schemes_.size(); ++si) {
+        Scheme& scheme = schemes_[si];
         if (!scheme.Matches(region, attrs)) continue;
         scheme.stats().nr_tried += 1;
         scheme.stats().sz_tried += region.size();
@@ -40,6 +66,21 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
         if (applied > 0) {
           scheme.stats().nr_applied += 1;
           scheme.stats().sz_applied += applied;
+        }
+        if (!instruments_.empty()) {
+          const SchemeInstruments& ti = instruments_[si];
+          ti.nr_tried->Add(1);
+          ti.sz_tried->Add(region.size());
+          if (applied > 0) {
+            ti.nr_applied->Add(1);
+            ti.sz_applied->Add(applied);
+          }
+        }
+        if (trace_ != nullptr && applied > 0) {
+          // kSchemeApply: id=scheme slot, arg0..1=region, arg2=bytes applied.
+          trace_->Push({now, telemetry::EventKind::kSchemeApply,
+                        static_cast<std::uint32_t>(si), region.start,
+                        region.end, applied});
         }
       }
     }

@@ -13,6 +13,8 @@
 
 #include "damon/monitor.hpp"
 #include "damos/scheme.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
 
 namespace daos::damos {
 
@@ -44,8 +46,30 @@ class SchemesEngine {
   std::string StatsText() const;
   void ResetStats();
 
+  /// Publishes per-scheme DAMOS-stat counters
+  /// ("<prefix>.scheme<i>.{nr_tried,sz_tried,nr_applied,sz_applied}")
+  /// through `registry` and, when `trace` is non-null, a kSchemeApply
+  /// tracepoint per applied region. Counters survive scheme reinstalls
+  /// (instruments are resolved per slot index, lazily on the next Apply).
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     telemetry::TraceBuffer* trace = nullptr,
+                     std::string_view prefix = "damos");
+
  private:
+  struct SchemeInstruments {
+    telemetry::Counter* nr_tried = nullptr;
+    telemetry::Counter* sz_tried = nullptr;
+    telemetry::Counter* nr_applied = nullptr;
+    telemetry::Counter* sz_applied = nullptr;
+  };
+  /// (Re)resolves one instrument set per installed scheme slot.
+  void RebindInstruments();
+
   std::vector<Scheme> schemes_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::TraceBuffer* trace_ = nullptr;
+  std::string prefix_;
+  std::vector<SchemeInstruments> instruments_;
 };
 
 }  // namespace daos::damos

@@ -41,6 +41,15 @@ class DamonDbgfs {
   damos::SchemesEngine& engine() noexcept { return engine_; }
   bool monitoring() const noexcept { return on_; }
 
+  /// Binds the owned context ("damon.ctx0.*") and schemes engine
+  /// ("damos.*") to the telemetry plane. Both arguments must outlive this
+  /// object's use on the System.
+  void SetTelemetry(telemetry::MetricsRegistry& registry,
+                    telemetry::TraceBuffer* trace = nullptr) {
+    ctx_->BindTelemetry(registry, trace);
+    engine_.BindTelemetry(registry, trace);
+  }
+
  private:
   std::string ReadAttrs() const;
   bool WriteAttrs(std::string_view content, std::string* error);

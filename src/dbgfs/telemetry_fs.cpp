@@ -1,0 +1,26 @@
+#include "dbgfs/telemetry_fs.hpp"
+
+#include "telemetry/export.hpp"
+
+namespace daos::dbgfs {
+
+TelemetryFs::TelemetryFs(PseudoFs* fs,
+                         const telemetry::MetricsRegistry* registry,
+                         const telemetry::TraceBuffer* trace, std::string root)
+    : fs_(fs), root_(std::move(root)), has_events_(trace != nullptr) {
+  fs_->RegisterFile(
+      root_ + "/metrics",
+      [registry] { return telemetry::ToPrometheusText(*registry); }, nullptr);
+  if (has_events_) {
+    fs_->RegisterFile(
+        root_ + "/events", [trace] { return telemetry::ToJsonl(*trace); },
+        nullptr);
+  }
+}
+
+TelemetryFs::~TelemetryFs() {
+  fs_->RemoveFile(root_ + "/metrics");
+  if (has_events_) fs_->RemoveFile(root_ + "/events");
+}
+
+}  // namespace daos::dbgfs

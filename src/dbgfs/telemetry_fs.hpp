@@ -1,0 +1,40 @@
+// Read-only telemetry files in the pseudo-filesystem.
+//
+// The kernel DAMON exposes its stats through sysfs/debugfs files read with
+// `cat`; this registers the reproduction's equivalent view of the unified
+// telemetry plane:
+//
+//   <root>/metrics   Prometheus exposition text of the whole registry
+//   <root>/events    JSONL dump of the tracepoint ring buffer
+//
+// Both files render on read — the hot path never formats anything.
+#pragma once
+
+#include <string>
+
+#include "dbgfs/pseudo_fs.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
+
+namespace daos::dbgfs {
+
+class TelemetryFs {
+ public:
+  /// Registers the files under `root`. `registry` is required; `trace`
+  /// may be null, in which case only `<root>/metrics` is registered. All
+  /// pointers must outlive this object.
+  TelemetryFs(PseudoFs* fs, const telemetry::MetricsRegistry* registry,
+              const telemetry::TraceBuffer* trace = nullptr,
+              std::string root = "/telemetry");
+  ~TelemetryFs();
+
+  TelemetryFs(const TelemetryFs&) = delete;
+  TelemetryFs& operator=(const TelemetryFs&) = delete;
+
+ private:
+  PseudoFs* fs_;
+  std::string root_;
+  bool has_events_;
+};
+
+}  // namespace daos::dbgfs

@@ -15,6 +15,67 @@ Process& System::AddProcess(ProcessParams params,
   return *processes_.back();
 }
 
+void System::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                             telemetry::TraceBuffer* trace,
+                             SimTimeUs interval) {
+  registry_ = registry;
+  trace_ = trace;
+  telemetry_interval_ = std::max<SimTimeUs>(interval, quantum_);
+  next_telemetry_ = clock_.Now();
+  interference_hist_ =
+      registry_ != nullptr
+          ? &registry_->GetHistogram("sim.quantum.interference_us")
+          : nullptr;
+  last_ = {};
+}
+
+void System::PublishTelemetry(SimTimeUs now) {
+  // Gauges: current state of the machine.
+  registry_->GetGauge("sim.dram_used_bytes")
+      .Set(static_cast<double>(machine_.dram_used_bytes()));
+  registry_->GetGauge("sim.used_frames")
+      .Set(static_cast<double>(machine_.used_frames()));
+  registry_->GetGauge("sim.swap.used_slots")
+      .Set(static_cast<double>(machine_.swap().used_slots()));
+  std::uint64_t active = 0;
+  for (const auto& proc : processes_)
+    if (!proc->finished()) ++active;
+  registry_->GetGauge("sim.processes.active").Set(static_cast<double>(active));
+
+  // Counters: mirror the machine/swap totals by delta, and turn nonzero
+  // deltas into tracepoints (id/args documented per kind).
+  const MachineCounters& mc = machine_.counters();
+  const SwapDevice& swap = machine_.swap();
+  struct DeltaSpec {
+    const char* name;
+    std::uint64_t current;
+    std::uint64_t* last;
+    telemetry::EventKind kind;
+  } deltas[] = {
+      {"sim.reclaim.pages", mc.reclaimed_pages, &last_.reclaimed_pages,
+       telemetry::EventKind::kReclaim},
+      {"sim.swap.ins", swap.total_ins(), &last_.swap_ins,
+       telemetry::EventKind::kSwapIn},
+      {"sim.swap.outs", swap.total_outs(), &last_.swap_outs,
+       telemetry::EventKind::kSwapOut},
+      {"sim.thp.collapses", mc.khugepaged_collapses,
+       &last_.khugepaged_collapses, telemetry::EventKind::kThpCollapse},
+  };
+  for (DeltaSpec& d : deltas) {
+    const std::uint64_t delta = d.current - *d.last;
+    *d.last = d.current;
+    if (delta == 0) continue;
+    registry_->GetCounter(d.name).Add(delta);
+    if (trace_ != nullptr) {
+      // arg0=count since last snapshot, arg1=running total.
+      trace_->Push({now, d.kind, 0, delta, d.current, 0});
+    }
+  }
+  const std::uint64_t scan_delta = mc.reclaim_scans - last_.reclaim_scans;
+  last_.reclaim_scans = mc.reclaim_scans;
+  if (scan_delta > 0) registry_->GetCounter("sim.reclaim.scans").Add(scan_delta);
+}
+
 void System::Step() {
   const SimTimeUs now = clock_.Now();
 
@@ -22,6 +83,8 @@ void System::Step() {
 
   double interference_us = 0.0;
   for (Daemon& daemon : daemons_) interference_us += daemon(now, quantum_);
+  if (interference_hist_ != nullptr && interference_us > 0.0)
+    interference_hist_->Observe(interference_us);
   if (interference_us > 0.0) {
     // Monitoring interference (TLB shootdowns from accessed-bit clearing)
     // hits whichever processes are running; distribute evenly.
@@ -41,6 +104,11 @@ void System::Step() {
   if (now >= next_log_gc_) {
     next_log_gc_ = now + kUsPerSec;
     for (AddressSpace* space : machine_.spaces()) space->MaintainLogs(now);
+  }
+
+  if (registry_ != nullptr && now >= next_telemetry_) {
+    next_telemetry_ = now + telemetry_interval_;
+    PublishTelemetry(now);
   }
 
   clock_.Advance(quantum_);

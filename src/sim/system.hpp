@@ -11,6 +11,8 @@
 #include "sim/clock.hpp"
 #include "sim/machine.hpp"
 #include "sim/process.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
 #include "util/types.hpp"
 
 namespace daos::sim {
@@ -50,6 +52,18 @@ class System {
 
   void RegisterDaemon(Daemon daemon) { daemons_.push_back(std::move(daemon)); }
 
+  /// Attaches the telemetry plane: every `interval` of simulated time the
+  /// daemon loop publishes system gauges (DRAM use, swap slots, active
+  /// processes), mirrors the machine/swap counters into monotonic registry
+  /// counters, and — when `trace` is non-null — emits kReclaim/kSwapIn/
+  /// kSwapOut/kThpCollapse events carrying the deltas since the previous
+  /// snapshot. Per-quantum daemon interference is observed into the
+  /// "sim.quantum.interference_us" histogram. Both pointers must outlive
+  /// the system's stepping.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       telemetry::TraceBuffer* trace = nullptr,
+                       SimTimeUs interval = kUsPerSec);
+
   /// Runs until every finite process completed or `max_time` elapsed.
   /// Returns aggregated metrics.
   SystemMetrics Run(SimTimeUs max_time);
@@ -58,6 +72,8 @@ class System {
   void Step();
 
  private:
+  void PublishTelemetry(SimTimeUs now);
+
   SimClock clock_;
   Machine machine_;
   SimTimeUs quantum_;
@@ -65,6 +81,20 @@ class System {
   std::vector<Daemon> daemons_;
   int next_pid_ = 1;
   SimTimeUs next_log_gc_ = 0;
+
+  // Telemetry snapshot state (inactive until AttachTelemetry).
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::TraceBuffer* trace_ = nullptr;
+  telemetry::Histogram* interference_hist_ = nullptr;
+  SimTimeUs telemetry_interval_ = kUsPerSec;
+  SimTimeUs next_telemetry_ = 0;
+  struct {
+    std::uint64_t reclaimed_pages = 0;
+    std::uint64_t reclaim_scans = 0;
+    std::uint64_t swap_ins = 0;
+    std::uint64_t swap_outs = 0;
+    std::uint64_t khugepaged_collapses = 0;
+  } last_;  // previous snapshot's counter values (for deltas)
 };
 
 }  // namespace daos::sim

@@ -1,0 +1,26 @@
+// Exporters for the telemetry plane: Prometheus-style text for metrics,
+// JSONL for tracepoint events. Formatting lives here, outside the hot
+// path — instruments are raw cells, exporters walk a snapshot.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
+
+namespace daos::telemetry {
+
+/// Prometheus exposition text: dotted metric names are sanitized to
+/// underscore form ("damon.ctx0.samples" -> "damon_ctx0_samples"),
+/// histograms expand to cumulative `_bucket{le=...}` series plus `_sum`
+/// and `_count`. Output is sorted by name and formatting is deterministic
+/// (golden-testable).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// One JSON object per event, oldest first:
+///   {"t":12345,"kind":"reclaim","id":0,"args":[64,0,0]}
+/// A final meta line reports loss: {"pushed":N,"dropped":N}.
+std::string ToJsonl(const TraceBuffer& trace);
+
+}  // namespace daos::telemetry

@@ -1,0 +1,60 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace daos::telemetry {
+namespace {
+
+TEST(PrometheusExportTest, GoldenCounterAndGauge) {
+  MetricsRegistry reg;
+  reg.GetCounter("damon.ctx0.samples").Add(1234);
+  reg.GetGauge("sim.dram_used_bytes").Set(4096);
+  reg.GetGauge("autotune.last_score").Set(0.125);
+  EXPECT_EQ(ToPrometheusText(reg),
+            "# TYPE autotune_last_score gauge\n"
+            "autotune_last_score 0.125\n"
+            "# TYPE damon_ctx0_samples counter\n"
+            "damon_ctx0_samples 1234\n"
+            "# TYPE sim_dram_used_bytes gauge\n"
+            "sim_dram_used_bytes 4096\n");
+}
+
+TEST(PrometheusExportTest, GoldenHistogramCumulativeBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("sim.swap.out_latency_us", {10.0, 100.0});
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);
+  h.Observe(7.0);
+  EXPECT_EQ(ToPrometheusText(reg),
+            "# TYPE sim_swap_out_latency_us histogram\n"
+            "sim_swap_out_latency_us_bucket{le=\"10\"} 2\n"
+            "sim_swap_out_latency_us_bucket{le=\"100\"} 3\n"
+            "sim_swap_out_latency_us_bucket{le=\"+Inf\"} 4\n"
+            "sim_swap_out_latency_us_sum 562\n"
+            "sim_swap_out_latency_us_count 4\n");
+}
+
+TEST(PrometheusExportTest, SanitizesMetricNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.b-c/d e").Add(1);
+  const std::string out = ToPrometheusText(reg);
+  EXPECT_NE(out.find("a_b_c_d_e 1\n"), std::string::npos);
+  EXPECT_EQ(out.find('.'), std::string::npos);
+}
+
+TEST(PrometheusExportTest, NonIntegerValuesUseCompactForm) {
+  MetricsRegistry reg;
+  reg.GetGauge("g").Set(0.3333333333);
+  EXPECT_EQ(ToPrometheusText(reg),
+            "# TYPE g gauge\n"
+            "g 0.333333\n");
+}
+
+TEST(PrometheusExportTest, EmptyRegistryEmptyOutput) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ToPrometheusText(reg), "");
+}
+
+}  // namespace
+}  // namespace daos::telemetry
