@@ -28,15 +28,18 @@
 namespace {
 
 // Mimics `echo <content> > <path>` incl. failing loudly like the shell.
-void Echo(daos::dbgfs::PseudoFs& fs, const std::string& content,
+// Returns false on a rejected write, printing the handler's error (which
+// carries "line N:" positions for multi-line scheme/fault inputs).
+bool Echo(daos::dbgfs::PseudoFs& fs, const std::string& content,
           const std::string& path) {
   std::string error;
   if (fs.Write(path, content, &error)) {
     std::printf("$ echo '%s' > %s\n", content.c_str(), path.c_str());
-  } else {
-    std::printf("$ echo '%s' > %s   # write error: %s\n", content.c_str(),
-                path.c_str(), error.c_str());
+    return true;
   }
+  std::fprintf(stderr, "$ echo '%s' > %s   # write error: %s\n",
+               content.c_str(), path.c_str(), error.c_str());
+  return false;
 }
 
 void Cat(daos::dbgfs::PseudoFs& fs, const std::string& path) {
@@ -74,10 +77,13 @@ int main() {
   std::printf("workload %s started as pid %d\n\n", profile->name.c_str(),
               proc.pid());
 
+  // Any rejected write flips the exit status, like `set -e` would: a
+  // mis-typed scheme must not silently run the workload unmonitored.
+  bool ok = true;
   Cat(fs, "/damon/attrs");
-  Echo(fs, std::to_string(proc.pid()), "/damon/target_ids");
-  Echo(fs, "min max min min 2s max pageout", "/damon/schemes");
-  Echo(fs, "on", "/damon/monitor_on");
+  ok &= Echo(fs, std::to_string(proc.pid()), "/damon/target_ids");
+  ok &= Echo(fs, "min max min min 2s max pageout", "/damon/schemes");
+  ok &= Echo(fs, "on", "/damon/monitor_on");
 
   std::printf("\npolling /proc/%d/status while the workload runs:\n",
               proc.pid());
@@ -93,7 +99,7 @@ int main() {
   Cat(fs, "/damon/schemes");
   std::printf("\n");
   Cat(fs, "/telemetry/metrics");
-  Echo(fs, "off", "/damon/monitor_on");
+  ok &= Echo(fs, "off", "/damon/monitor_on");
 
   // Save the monitoring record and render its heatmap, Figure-6 style.
   const std::string rec_path = "/tmp/daos_ctl.rec";
@@ -108,5 +114,5 @@ int main() {
     std::printf("access heatmap (from the reloaded record):\n%s",
                 analysis::RenderAscii(map).c_str());
   }
-  return 0;
+  return ok ? 0 : 1;
 }

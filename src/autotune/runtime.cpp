@@ -4,13 +4,18 @@ namespace daos::autotune {
 
 DbgfsRuntime::DbgfsRuntime(EnvFactory factory, TunerConfig config,
                            SimTimeUs max_trial_time,
-                           SimTimeUs rss_poll_interval)
+                           SimTimeUs rss_poll_interval, int max_trial_retries)
     : factory_(std::move(factory)),
       config_(config),
       max_trial_time_(max_trial_time),
-      rss_poll_interval_(rss_poll_interval) {}
+      rss_poll_interval_(rss_poll_interval),
+      max_trial_retries_(max_trial_retries < 0 ? 0 : max_trial_retries) {}
 
-TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
+void DbgfsRuntime::SetFaultPlane(fault::FaultPlane* plane) {
+  trial_hang_ = plane != nullptr ? &plane->Point(fault::kTrialHang) : nullptr;
+}
+
+TrialMeasurement DbgfsRuntime::RunTrial(const damos::Scheme* scheme) {
   ++trials_;
   std::unique_ptr<TrialEnv> env = factory_();
 
@@ -27,6 +32,11 @@ TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
     }
   }
 
+  // An armed trial.hang makes this run behave like a wedged workload: the
+  // poll loop ignores the finished flag and rides out the whole deadline,
+  // exactly what the watchdog exists to catch.
+  const bool hung = fault::Fires(trial_hang_);
+
   // Run to completion, polling procfs for the RSS like the runtime's
   // scripts poll /proc/<pid>/status.
   double rss_sum = 0.0;
@@ -37,10 +47,15 @@ TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
     if (proc->pid() == env->workload_pid) workload = proc.get();
   }
   while (env->system->Now() < deadline &&
-         (workload == nullptr || !workload->finished())) {
+         (hung || workload == nullptr || !workload->finished())) {
+    const SimTimeUs before = env->system->Now();
     env->system->Run(rss_poll_interval_);
     rss_sum += static_cast<double>(env->proc->ReadRssBytes(env->workload_pid));
     ++polls;
+    // System::Run returns without advancing once every finite process has
+    // finished; a wedged run that reaches that state has nothing left to
+    // simulate, so stop polling instead of spinning on a frozen clock.
+    if (env->system->Now() == before) break;
   }
 
   TrialMeasurement m;
@@ -48,6 +63,25 @@ TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
                     ? workload->Metrics(env->system->Now()).runtime_s
                     : static_cast<double>(env->system->Now()) / kUsPerSec;
   m.rss_bytes = polls > 0 ? rss_sum / static_cast<double>(polls) : 0.0;
+  // Watchdog: the workload did not finish inside max_trial_time (or the
+  // run was wedged by trial.hang). The env is abandoned — the simulated
+  // equivalent of kill -9 — and the measurement is unusable.
+  m.failed = hung || (workload != nullptr && !workload->finished());
+  return m;
+}
+
+TrialMeasurement DbgfsRuntime::RunOnce(const damos::Scheme* scheme) {
+  TrialMeasurement m;
+  for (int attempt = 0;; ++attempt) {
+    m = RunTrial(scheme);
+    m.retries = attempt;
+    if (!m.failed) break;
+    if (registry_ != nullptr)
+      registry_->GetCounter("autotune.trial_failures").Add(1);
+    if (attempt >= max_trial_retries_) break;  // retry budget exhausted
+    if (registry_ != nullptr)
+      registry_->GetCounter("autotune.trial_retries").Add(1);
+  }
   return m;
 }
 

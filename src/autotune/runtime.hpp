@@ -14,6 +14,7 @@
 #include "autotune/tuner.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
 #include "dbgfs/procfs.hpp"
+#include "fault/fault.hpp"
 #include "sim/system.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_buffer.hpp"
@@ -38,20 +39,33 @@ class DbgfsRuntime {
  public:
   /// `rss_poll_interval` is how often the runtime reads procfs while the
   /// workload runs (the measured RSS is the time-average of the polls).
+  /// `max_trial_time` doubles as the per-trial watchdog: a workload still
+  /// unfinished at that deadline is aborted and the measurement marked
+  /// failed; `max_trial_retries` bounds how many fresh environments the
+  /// runtime boots to retry a failed trial before giving up.
   DbgfsRuntime(EnvFactory factory, TunerConfig config,
                SimTimeUs max_trial_time = 1200 * kUsPerSec,
-               SimTimeUs rss_poll_interval = kUsPerSec);
+               SimTimeUs rss_poll_interval = kUsPerSec,
+               int max_trial_retries = 1);
 
   /// Runs one trial: boots an env, installs `scheme` (null = baseline)
   /// through debugfs, runs to completion, returns runtime + average RSS
-  /// read through procfs.
+  /// read through procfs. A trial killed by the watchdog is retried on a
+  /// fresh environment up to `max_trial_retries` times; the returned
+  /// measurement carries `failed`/`retries`.
   TrialMeasurement RunOnce(const damos::Scheme* scheme);
 
   /// The full §3.5 flow: tune `base`'s min_age with fresh runs per sample.
   TunerResult Tune(const damos::Scheme& base);
 
-  /// Trials executed so far (baseline + samples + verifications).
+  /// Trials executed so far, counting every boot (baseline + samples +
+  /// verifications + watchdog retries).
   int trials() const noexcept { return trials_; }
+
+  /// Resolves the runtime's `trial.hang` fault point on `plane` (nullptr
+  /// detaches). While armed, a firing check makes the trial's workload
+  /// appear hung so the watchdog path is exercised deterministically.
+  void SetFaultPlane(fault::FaultPlane* plane);
 
   /// Forwards telemetry to the AutoTuner driving Tune() (per-step score
   /// gauges and kTuneStep tracepoints under "autotune.*").
@@ -62,11 +76,16 @@ class DbgfsRuntime {
   }
 
  private:
+  /// One boot-run-measure cycle with no retry logic.
+  TrialMeasurement RunTrial(const damos::Scheme* scheme);
+
   EnvFactory factory_;
   TunerConfig config_;
   SimTimeUs max_trial_time_;
   SimTimeUs rss_poll_interval_;
+  int max_trial_retries_;
   int trials_ = 0;
+  fault::FaultPoint* trial_hang_ = nullptr;
   telemetry::MetricsRegistry* registry_ = nullptr;
   telemetry::TraceBuffer* trace_ = nullptr;
 };

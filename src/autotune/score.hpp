@@ -14,6 +14,12 @@ namespace daos::autotune {
 struct TrialMeasurement {
   double runtime_s = 0.0;
   double rss_bytes = 0.0;
+  /// The trial never produced a usable measurement (e.g. the workload hung
+  /// past the runtime's watchdog deadline, even after retries).
+  bool failed = false;
+  /// How many extra runs the runtime spent retrying before settling on
+  /// this measurement.
+  int retries = 0;
 };
 
 /// Stateful score function interface; the default implementation is the

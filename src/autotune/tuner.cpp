@@ -27,6 +27,8 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
 
   // Baseline: the workload without any scheme.
   result.baseline = runner(nullptr);
+  result.retried_trials += result.baseline.retries;
+  if (result.baseline.failed) ++result.failed_trials;
 
   const std::size_t total = std::max<std::size_t>(2, config_.EffectiveSamples());
   const auto explore =
@@ -39,6 +41,18 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     damos::Scheme candidate = base;
     candidate.bounds().min_age = min_age;
     const TrialMeasurement m = runner(&candidate);
+    result.retried_trials += m.retries;
+    if (m.failed) {
+      // The trial never produced a measurement. Record it (so the sample
+      // budget accounting stays honest) but keep it out of the score
+      // function — a watchdog-killed run must not poison the SLA state —
+      // and out of the fit/best-sample selection below.
+      ++result.failed_trials;
+      result.samples.push_back(TunerSample{min_age, 0.0, exploration, true});
+      if (registry_ != nullptr)
+        registry_->GetCounter(prefix_ + ".steps").Add(1);
+      return;
+    }
     const double score = score_->Score(m, result.baseline);
     result.samples.push_back(TunerSample{min_age, score, exploration});
     if (registry_ != nullptr) {
@@ -63,11 +77,21 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     run_one(rng_.NextInRange(config_.min_age_lo, config_.min_age_hi), true);
   }
 
-  // Phase 2: local search around the best exploration sample.
-  auto best = std::max_element(
-      result.samples.begin(), result.samples.end(),
-      [](const TunerSample& a, const TunerSample& b) { return a.score < b.score; });
-  const SimTimeUs center = best->min_age;
+  // Orders samples by score with failed trials below any real score, so
+  // max_element lands on a failed sample only when every sample failed.
+  const auto by_score = [](const TunerSample& a, const TunerSample& b) {
+    if (a.failed != b.failed) return a.failed;
+    return a.score < b.score;
+  };
+
+  // Phase 2: local search around the best exploration sample. If every
+  // exploration trial failed there is no signal to follow — search around
+  // the middle of the knob range instead.
+  auto best = std::max_element(result.samples.begin(), result.samples.end(),
+                               by_score);
+  const SimTimeUs center =
+      !best->failed ? best->min_age
+                    : (config_.min_age_lo + config_.min_age_hi) / 2;
   const SimTimeUs radius =
       std::max<SimTimeUs>((config_.min_age_hi - config_.min_age_lo) / 10,
                           kUsPerSec);
@@ -77,23 +101,32 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     run_one(rng_.NextInRange(lo, hi), false);
   }
 
-  // Estimation: fit a degree-(nr_samples/3) polynomial and take the
-  // highest peak.
+  // Estimation: fit a degree-(nr_samples/3) polynomial to the successful
+  // samples and take the highest peak.
   std::vector<double> xs, ys;
   xs.reserve(result.samples.size());
   ys.reserve(result.samples.size());
   for (const TunerSample& s : result.samples) {
+    if (s.failed) continue;
     xs.push_back(static_cast<double>(s.min_age) / kUsPerSec);
     ys.push_back(s.score);
   }
   const std::size_t degree = std::max<std::size_t>(1, total / 3);
-  result.estimate = FitPolynomial(xs, ys, degree);
+  if (!xs.empty()) result.estimate = FitPolynomial(xs, ys, degree);
 
   // The best raw sample after both phases (the local-search center moved if
   // exploitation found something better).
-  best = std::max_element(
-      result.samples.begin(), result.samples.end(),
-      [](const TunerSample& a, const TunerSample& b) { return a.score < b.score; });
+  best = std::max_element(result.samples.begin(), result.samples.end(),
+                          by_score);
+  if (best->failed) {
+    // Every trial failed: nothing to tune against. Emit the base scheme
+    // with a mid-range knob and a zero prediction; the caller reads
+    // failed_trials to see why.
+    result.best_min_age = (config_.min_age_lo + config_.min_age_hi) / 2;
+    result.predicted_score = 0.0;
+    result.tuned.bounds().min_age = result.best_min_age;
+    return result;
+  }
 
   bool picked_from_curve = false;
   if (result.estimate.Valid()) {

@@ -59,6 +59,9 @@ struct TunerSample {
   SimTimeUs min_age = 0;
   double score = 0.0;
   bool exploration = false;  // true for the global-60% phase
+  bool failed = false;       // trial never measured (watchdog kill etc.);
+                             // recorded for accounting, excluded from the
+                             // fit and from best-sample selection
 };
 
 struct TunerResult {
@@ -68,6 +71,11 @@ struct TunerResult {
   std::vector<TunerSample> samples;
   Polynomial estimate;             // the fitted curve (Figure 5's line)
   TrialMeasurement baseline;
+  /// Robustness accounting: trials (baseline included) whose measurement
+  /// came back failed even after the runner's retries, and the total
+  /// retries the runner spent across all trials.
+  int failed_trials = 0;
+  int retried_trials = 0;
 };
 
 class AutoTuner {

@@ -1,7 +1,8 @@
 #include "damon/monitor.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace daos::damon {
 namespace {
@@ -42,6 +43,13 @@ void DamonContext::BindTelemetry(telemetry::MetricsRegistry& registry,
 }
 
 DamonTarget& DamonContext::AddTarget(std::unique_ptr<Primitives> primitives) {
+  if (!DAOS_CHECK(primitives != nullptr)) {
+    // A null target would crash every sampling pass; refuse it but keep the
+    // context usable. The returned placeholder is never monitored.
+    static DamonTarget null_target;
+    null_target = DamonTarget{};
+    return null_target;
+  }
   targets_.push_back(DamonTarget{std::move(primitives), {}});
   target_layout_gens_.push_back(~0ull);
   return targets_.back();
@@ -75,6 +83,9 @@ void DamonContext::InitRegionsFor(DamonTarget& target) {
   // distributing the budget proportionally to range size.
   const std::uint32_t want = std::max<std::uint32_t>(attrs_.min_nr_regions, 1);
   for (const AddrRange& range : ranges) {
+    // Target ranges come from primitives implementations users can swap
+    // out; an inverted or empty range must not wedge the split loop below.
+    if (!DAOS_CHECK(range.end > range.start)) continue;
     const std::uint64_t share = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(want) * range.size() / total);
     const std::uint64_t piece =
@@ -94,6 +105,10 @@ void DamonContext::PrepareAccessChecks(SimTimeUs now) {
   std::uint64_t sampled = 0;
   for (DamonTarget& target : targets_) {
     for (Region& r : target.regions) {
+      // Regions can be mutated through the dbgfs interface; a degenerate
+      // one is skipped (it contributes no samples) instead of underflowing
+      // the page count below.
+      if (!DAOS_CHECK(r.end > r.start)) continue;
       // Pick a fresh random sample page and clear its accessed state; the
       // result is read back on the next sampling pass.
       const std::uint64_t pages = std::max<std::uint64_t>(1, r.size() / kPageSize);

@@ -1,7 +1,6 @@
 #include "damon/primitives.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "sim/address_space.hpp"
 #include "sim/machine.hpp"
@@ -29,16 +28,17 @@ std::string_view DamosActionName(DamosAction action) {
 namespace {
 
 std::uint64_t ApplyToSpace(sim::AddressSpace& space, DamosAction action,
-                           Addr start, Addr end, SimTimeUs now) {
+                           Addr start, Addr end, SimTimeUs now,
+                           std::uint64_t* errors) {
   switch (action) {
     case DamosAction::kWillneed:
       return space.SwapInRange(start, end, now);
     case DamosAction::kCold:
       return space.DeactivateRange(start, end);
     case DamosAction::kPageout:
-      return space.PageOutRange(start, end, now);
+      return space.PageOutRange(start, end, now, errors);
     case DamosAction::kHugepage:
-      return space.PromoteRange(start, end, now);
+      return space.PromoteRange(start, end, now, errors);
     case DamosAction::kNohugepage:
       return space.DemoteRange(start, end);
     case DamosAction::kStat:
@@ -100,8 +100,9 @@ void VaddrPrimitives::MkOld(Addr a, SimTimeUs now) { space_->MkOld(a, now); }
 bool VaddrPrimitives::IsYoung(Addr a) const { return space_->IsYoung(a); }
 
 std::uint64_t VaddrPrimitives::ApplyAction(DamosAction action, Addr start,
-                                           Addr end, SimTimeUs now) {
-  return ApplyToSpace(*space_, action, start, end, now);
+                                           Addr end, SimTimeUs now,
+                                           std::uint64_t* errors) {
+  return ApplyToSpace(*space_, action, start, end, now, errors);
 }
 
 // ---------------------------------------------------------------------------
@@ -165,7 +166,8 @@ bool PaddrPrimitives::IsYoung(Addr a) const {
 }
 
 std::uint64_t PaddrPrimitives::ApplyAction(DamosAction action, Addr start,
-                                           Addr end, SimTimeUs now) {
+                                           Addr end, SimTimeUs now,
+                                           std::uint64_t* errors) {
   RebuildIfStale();
   std::uint64_t applied = 0;
   for (const Extent& e : extents_) {
@@ -173,7 +175,7 @@ std::uint64_t PaddrPrimitives::ApplyAction(DamosAction action, Addr start,
     const Addr lo = std::max(start, e.phys_start);
     const Addr hi = std::min(end, e.phys_end);
     applied += ApplyToSpace(*e.space, action, e.virt_start + (lo - e.phys_start),
-                            e.virt_start + (hi - e.phys_start), now);
+                            e.virt_start + (hi - e.phys_start), now, errors);
   }
   return applied;
 }

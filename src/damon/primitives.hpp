@@ -55,8 +55,12 @@ class Primitives {
   virtual double CheckCostUs() const = 0;
 
   /// Applies `action` to [start, end); returns bytes the action affected.
+  /// Recoverable action failures (swap write errors, failed THP collapses)
+  /// are counted into `*errors` when non-null; the action still applies to
+  /// whatever part of the range it can.
   virtual std::uint64_t ApplyAction(DamosAction action, Addr start, Addr end,
-                                    SimTimeUs now) = 0;
+                                    SimTimeUs now,
+                                    std::uint64_t* errors = nullptr) = 0;
 };
 
 /// Reference implementation for one process's virtual address space
@@ -73,7 +77,8 @@ class VaddrPrimitives final : public Primitives {
   bool IsYoung(Addr a) const override;
   double CheckCostUs() const override { return check_cost_us_; }
   std::uint64_t ApplyAction(DamosAction action, Addr start, Addr end,
-                            SimTimeUs now) override;
+                            SimTimeUs now,
+                            std::uint64_t* errors = nullptr) override;
 
   sim::AddressSpace* space() noexcept { return space_; }
 
@@ -98,7 +103,8 @@ class PaddrPrimitives final : public Primitives {
   bool IsYoung(Addr a) const override;
   double CheckCostUs() const override { return check_cost_us_; }
   std::uint64_t ApplyAction(DamosAction action, Addr start, Addr end,
-                            SimTimeUs now) override;
+                            SimTimeUs now,
+                            std::uint64_t* errors = nullptr) override;
 
  private:
   struct Extent {

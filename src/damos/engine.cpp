@@ -1,10 +1,20 @@
 #include "damos/engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "damos/parser.hpp"
 
 namespace daos::damos {
+namespace {
+
+// Failure backoff: after the k-th consecutive error-only pass a scheme is
+// parked for aggregation_interval << min(k, kMaxBackoffExp) — capped so a
+// persistently failing scheme is still re-armed to probe for recovery
+// (2^6 = 64 aggregations, ~6.4 s under paper settings).
+constexpr std::uint32_t kMaxBackoffExp = 6;
+
+}  // namespace
 
 void SchemesEngine::Attach(damon::DamonContext& ctx) {
   ctx.AddAggregationHook(
@@ -24,6 +34,7 @@ bool SchemesEngine::InstallFromText(std::string_view text,
     return false;
   }
   schemes_ = std::move(parsed.schemes);
+  runtime_.clear();  // fresh schemes start un-parked
   return true;
 }
 
@@ -46,6 +57,8 @@ void SchemesEngine::RebindInstruments() {
         &registry_->GetCounter(base + "sz_tried"),
         &registry_->GetCounter(base + "nr_applied"),
         &registry_->GetCounter(base + "sz_applied"),
+        &registry_->GetCounter(base + "errors"),
+        &registry_->GetCounter(base + "backoffs"),
     });
   }
 }
@@ -53,20 +66,46 @@ void SchemesEngine::RebindInstruments() {
 void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
   if (registry_ != nullptr && instruments_.size() != schemes_.size())
     RebindInstruments();  // schemes were reinstalled since the last pass
+  runtime_.resize(schemes_.size());
   const damon::MonitoringAttrs& attrs = ctx.attrs();
+
+  // Per-pass aggregates, so the backoff decision sees the whole pass (a
+  // scheme failing on one region but applying on another is degraded, not
+  // dead). Kept outside the region loops to preserve the original
+  // targets->regions->schemes application order exactly.
+  struct PassAgg {
+    std::uint64_t tried = 0;
+    std::uint64_t applied_bytes = 0;
+    std::uint64_t errors = 0;
+  };
+  std::vector<PassAgg> pass(schemes_.size());
+  for (std::size_t si = 0; si < schemes_.size(); ++si) {
+    if (runtime_[si].backoff_until != 0 && now < runtime_[si].backoff_until)
+      schemes_[si].stats().nr_skipped += 1;
+  }
+
   for (damon::DamonTarget& target : ctx.targets()) {
     for (damon::Region& region : target.regions) {
       for (std::size_t si = 0; si < schemes_.size(); ++si) {
         Scheme& scheme = schemes_[si];
+        if (runtime_[si].backoff_until != 0 &&
+            now < runtime_[si].backoff_until) {
+          continue;  // parked by the failure backoff
+        }
         if (!scheme.Matches(region, attrs)) continue;
         scheme.stats().nr_tried += 1;
         scheme.stats().sz_tried += region.size();
+        std::uint64_t errors = 0;
         const std::uint64_t applied = target.primitives->ApplyAction(
-            scheme.action(), region.start, region.end, now);
+            scheme.action(), region.start, region.end, now, &errors);
+        pass[si].tried += 1;
+        pass[si].applied_bytes += applied;
+        pass[si].errors += errors;
         if (applied > 0) {
           scheme.stats().nr_applied += 1;
           scheme.stats().sz_applied += applied;
         }
+        scheme.stats().nr_errors += errors;
         if (!instruments_.empty()) {
           const SchemeInstruments& ti = instruments_[si];
           ti.nr_tried->Add(1);
@@ -75,6 +114,7 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
             ti.nr_applied->Add(1);
             ti.sz_applied->Add(applied);
           }
+          if (errors > 0) ti.errors->Add(errors);
         }
         if (trace_ != nullptr && applied > 0) {
           // kSchemeApply: id=scheme slot, arg0..1=region, arg2=bytes applied.
@@ -85,20 +125,52 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
       }
     }
   }
+
+  // Post-pass backoff bookkeeping. A pass that only produced errors parks
+  // the scheme exponentially; any pass that applied bytes re-arms it.
+  for (std::size_t si = 0; si < schemes_.size(); ++si) {
+    SchemeRuntime& rt = runtime_[si];
+    if (pass[si].errors > 0 && pass[si].applied_bytes == 0 &&
+        pass[si].tried > 0) {
+      const std::uint32_t exp = std::min(rt.backoff_exp, kMaxBackoffExp);
+      const SimTimeUs park = attrs.aggregation_interval << (exp + 1);
+      rt.backoff_until = now + park;
+      ++rt.backoff_exp;
+      schemes_[si].stats().nr_backoffs += 1;
+      if (!instruments_.empty()) instruments_[si].backoffs->Add(1);
+      if (trace_ != nullptr) {
+        // kSchemeBackoff: id=scheme slot, arg0=errors this pass, arg1=park
+        // duration (µs), arg2=consecutive error-only passes.
+        trace_->Push({now, telemetry::EventKind::kSchemeBackoff,
+                      static_cast<std::uint32_t>(si), pass[si].errors, park,
+                      rt.backoff_exp});
+      }
+    } else if (pass[si].applied_bytes > 0) {
+      rt.backoff_exp = 0;
+      rt.backoff_until = 0;
+    }
+  }
+}
+
+SimTimeUs SchemesEngine::BackoffUntil(std::size_t scheme_index) const {
+  return scheme_index < runtime_.size() ? runtime_[scheme_index].backoff_until
+                                        : 0;
 }
 
 std::string SchemesEngine::StatsText() const {
   std::string out;
   for (const Scheme& s : schemes_) {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "%s: tried %llu regions (%llu bytes), applied %llu "
-                  "regions (%llu bytes)\n",
+                  "regions (%llu bytes), errors %llu, backoffs %llu\n",
                   s.ToText().c_str(),
                   static_cast<unsigned long long>(s.stats().nr_tried),
                   static_cast<unsigned long long>(s.stats().sz_tried),
                   static_cast<unsigned long long>(s.stats().nr_applied),
-                  static_cast<unsigned long long>(s.stats().sz_applied));
+                  static_cast<unsigned long long>(s.stats().sz_applied),
+                  static_cast<unsigned long long>(s.stats().nr_errors),
+                  static_cast<unsigned long long>(s.stats().nr_backoffs));
     out += buf;
   }
   return out;

@@ -33,7 +33,10 @@ class SchemesEngine {
   /// which are reported via `errors` when non-null.
   bool InstallFromText(std::string_view text,
                        std::vector<std::string>* errors = nullptr);
-  void Install(std::vector<Scheme> schemes) { schemes_ = std::move(schemes); }
+  void Install(std::vector<Scheme> schemes) {
+    schemes_ = std::move(schemes);
+    runtime_.clear();  // fresh schemes start un-parked
+  }
 
   std::vector<Scheme>& schemes() noexcept { return schemes_; }
   const std::vector<Scheme>& schemes() const noexcept { return schemes_; }
@@ -47,13 +50,19 @@ class SchemesEngine {
   void ResetStats();
 
   /// Publishes per-scheme DAMOS-stat counters
-  /// ("<prefix>.scheme<i>.{nr_tried,sz_tried,nr_applied,sz_applied}")
-  /// through `registry` and, when `trace` is non-null, a kSchemeApply
-  /// tracepoint per applied region. Counters survive scheme reinstalls
-  /// (instruments are resolved per slot index, lazily on the next Apply).
+  /// ("<prefix>.scheme<i>.{nr_tried,sz_tried,nr_applied,sz_applied,errors,
+  /// backoffs}") through `registry` and, when `trace` is non-null, a
+  /// kSchemeApply tracepoint per applied region plus a kSchemeBackoff
+  /// tracepoint whenever a scheme is parked. Counters survive scheme
+  /// reinstalls (instruments are resolved per slot index, lazily on the
+  /// next Apply).
   void BindTelemetry(telemetry::MetricsRegistry& registry,
                      telemetry::TraceBuffer* trace = nullptr,
                      std::string_view prefix = "damos");
+
+  /// When a scheme slot is parked by the failure backoff, the time its
+  /// applications resume; 0 when it is active. Exposed for tests/dbgfs.
+  SimTimeUs BackoffUntil(std::size_t scheme_index) const;
 
  private:
   struct SchemeInstruments {
@@ -61,11 +70,21 @@ class SchemesEngine {
     telemetry::Counter* sz_tried = nullptr;
     telemetry::Counter* nr_applied = nullptr;
     telemetry::Counter* sz_applied = nullptr;
+    telemetry::Counter* errors = nullptr;
+    telemetry::Counter* backoffs = nullptr;
+  };
+  /// Failure-backoff state per scheme slot (mirrors upstream DAMOS quotas:
+  /// a scheme whose action keeps failing must not burn its whole budget on
+  /// a broken device every aggregation).
+  struct SchemeRuntime {
+    std::uint32_t backoff_exp = 0;   // consecutive error-only passes
+    SimTimeUs backoff_until = 0;     // parked until then (0 = active)
   };
   /// (Re)resolves one instrument set per installed scheme slot.
   void RebindInstruments();
 
   std::vector<Scheme> schemes_;
+  std::vector<SchemeRuntime> runtime_;
   telemetry::MetricsRegistry* registry_ = nullptr;
   telemetry::TraceBuffer* trace_ = nullptr;
   std::string prefix_;

@@ -8,6 +8,11 @@
 namespace daos::damos {
 namespace {
 
+// Defensive cap: a scheme line is seven short tokens; anything past this is
+// garbage input (binary spew, a runaway echo) and is rejected before
+// tokenization rather than ground through the number parsers.
+constexpr std::size_t kMaxLineLength = 512;
+
 std::optional<std::uint64_t> ParseSizeToken(std::string_view tok, bool is_min) {
   const std::string lower = ToLower(tok);
   if (lower == "min") return is_min ? 0 : 0;
@@ -62,6 +67,12 @@ bool ParseAction(std::string_view token, damon::DamosAction* out) {
 
 ParseResult ParseSchemeLine(std::string_view line) {
   ParseResult result;
+  if (line.size() > kMaxLineLength) {
+    result.errors.push_back(
+        {1, "line too long (" + std::to_string(line.size()) + " > " +
+                std::to_string(kMaxLineLength) + " characters)"});
+    return result;
+  }
   const auto tokens = SplitWhitespace(StripComment(line));
   if (tokens.size() != 7) {
     result.errors.push_back(
@@ -109,6 +120,15 @@ ParseResult ParseSchemeLine(std::string_view line) {
       b.min_size > b.max_size) {
     result.errors.push_back({1, "min_size exceeds max_size"});
   }
+  if (b.min_age != kMaxU64 && b.max_age != kMaxU64 && b.min_age > b.max_age) {
+    result.errors.push_back({1, "min_age exceeds max_age"});
+  }
+  // Frequency bounds are only directly comparable in the same unit; a
+  // percent/samples mix depends on the monitoring attrs and is legal.
+  if (b.min_freq.unit == b.max_freq.unit &&
+      b.min_freq.value > b.max_freq.value) {
+    result.errors.push_back({1, "min_freq exceeds max_freq"});
+  }
 
   if (result.errors.empty()) result.schemes.emplace_back(b);
   return result;
@@ -119,6 +139,12 @@ ParseResult ParseSchemes(std::string_view text) {
   int line_no = 0;
   for (std::string_view raw : SplitChar(text, '\n')) {
     ++line_no;
+    if (raw.size() > kMaxLineLength) {
+      result.errors.push_back(
+          {line_no, "line too long (" + std::to_string(raw.size()) + " > " +
+                        std::to_string(kMaxLineLength) + " characters)"});
+      continue;
+    }
     const std::string_view line = TrimWhitespace(StripComment(raw));
     if (line.empty()) continue;
     ParseResult one = ParseSchemeLine(line);

@@ -57,6 +57,9 @@ struct SchemeStats {
   std::uint64_t sz_tried = 0;
   std::uint64_t nr_applied = 0;
   std::uint64_t sz_applied = 0;
+  std::uint64_t nr_errors = 0;    // recoverable action failures absorbed
+  std::uint64_t nr_backoffs = 0;  // times the scheme was exponentially parked
+  std::uint64_t nr_skipped = 0;   // aggregation passes skipped while parked
 };
 
 class Scheme {

@@ -1,0 +1,313 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace daos::fault {
+
+namespace {
+
+// FNV-1a, folded into the plane seed to derive one independent RNG stream
+// per point name. Stability across platforms matters (replay files quote
+// seeds), so no std::hash.
+std::uint64_t HashName(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (kMaxU64 - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // strtod on a bounded copy: string_views are not NUL-terminated.
+  const std::string buf(text);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+void FormatSpec(std::ostringstream& out, const FaultSpec& spec) {
+  if (!spec.armed()) {
+    out << "off";
+    return;
+  }
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ' ';
+    first = false;
+  };
+  if (spec.probability > 0.0) {
+    sep();
+    out << "p=" << spec.probability;
+  }
+  if (spec.every_nth > 0) {
+    sep();
+    out << "every=" << spec.every_nth;
+  }
+  if (spec.once_at > 0) {
+    sep();
+    out << "once=" << spec.once_at;
+  }
+}
+
+}  // namespace
+
+FaultPoint::FaultPoint(std::string name, std::uint64_t plane_seed)
+    : name_(std::move(name)),
+      plane_seed_(plane_seed),
+      rng_(StreamSeed(name_, plane_seed)) {}
+
+std::uint64_t FaultPoint::StreamSeed(std::string_view name,
+                                     std::uint64_t plane_seed) {
+  return plane_seed ^ HashName(name);
+}
+
+void FaultPoint::Arm(const FaultSpec& spec) {
+  spec_ = spec;
+  armed_ = spec.armed();
+  ResetSchedule();
+}
+
+void FaultPoint::Disarm() {
+  spec_ = FaultSpec{};
+  armed_ = false;
+  ResetSchedule();
+}
+
+void FaultPoint::ResetSchedule() {
+  hits_ = 0;
+  fires_ = 0;
+  once_done_ = false;
+  rng_.Reseed(StreamSeed(name_, plane_seed_));
+}
+
+bool FaultPoint::Roll() noexcept {
+  ++hits_;
+  bool fire = false;
+  if (spec_.once_at > 0 && !once_done_ && hits_ == spec_.once_at) {
+    once_done_ = true;
+    fire = true;
+  }
+  if (spec_.every_nth > 0 && hits_ % spec_.every_nth == 0) fire = true;
+  // The probability draw happens unconditionally while armed so the RNG
+  // stream position depends only on the hit ordinal, not on what the other
+  // triggers decided — combined specs stay replayable.
+  if (spec_.probability > 0.0 && rng_.NextBool(spec_.probability)) fire = true;
+  if (fire) {
+    ++fires_;
+    if (fires_counter_ != nullptr) fires_counter_->Add();
+  }
+  return fire;
+}
+
+FaultPlane::FaultPlane(std::uint64_t seed) : seed_(seed) {}
+
+FaultPoint& FaultPlane::Point(std::string_view name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    auto point = std::unique_ptr<FaultPoint>(
+        new FaultPoint(std::string(name), seed_));
+    it = points_.emplace(point->name(), std::move(point)).first;
+    if (registry_ != nullptr) BindPoint(*it->second);
+  }
+  return *it->second;
+}
+
+FaultPoint* FaultPlane::Find(std::string_view name) {
+  const auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+const FaultPoint* FaultPlane::Find(std::string_view name) const {
+  const auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+void FaultPlane::DisarmAll() {
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+void FaultPlane::Reseed(std::uint64_t seed) {
+  seed_ = seed;
+  for (auto& [name, point] : points_) {
+    point->plane_seed_ = seed;
+    point->ResetSchedule();
+  }
+}
+
+bool FaultPlane::Configure(std::string_view text, std::string* error) {
+  struct Directive {
+    enum class Kind { kArm, kDisarm, kSeed, kReset } kind;
+    std::string point;
+    FaultSpec spec;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Directive> directives;
+
+  // Parse everything before touching any state: a write with an error on
+  // line 3 must not half-apply lines 1-2 (same atomicity contract as
+  // dbgfs WriteSchemes).
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t brk = text.find_first_of("\n;", pos);
+    const std::string_view raw =
+        text.substr(pos, brk == std::string_view::npos ? brk : brk - pos);
+    pos = brk == std::string_view::npos ? text.size() + 1 : brk + 1;
+    ++line_no;
+
+    const std::string_view line = TrimWhitespace(StripComment(raw));
+    if (line.empty()) continue;
+    const auto fail = [&](const std::string& msg) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + msg;
+      }
+      return false;
+    };
+
+    const std::vector<std::string_view> tokens = SplitWhitespace(line);
+    if (tokens[0] == "reset") {
+      if (tokens.size() != 1) return fail("'reset' takes no arguments");
+      directives.push_back({Directive::Kind::kReset, {}, {}, 0});
+      continue;
+    }
+    if (tokens[0] == "seed") {
+      std::uint64_t seed = 0;
+      if (tokens.size() != 2 || !ParseU64(tokens[1], &seed)) {
+        return fail("expected 'seed <u64>'");
+      }
+      directives.push_back({Directive::Kind::kSeed, {}, {}, seed});
+      continue;
+    }
+    if (tokens.size() < 2) {
+      return fail("expected '<point> <trigger>...' or '<point> off'");
+    }
+    if (tokens.size() == 2 && tokens[1] == "off") {
+      directives.push_back(
+          {Directive::Kind::kDisarm, std::string(tokens[0]), {}, 0});
+      continue;
+    }
+    FaultSpec spec;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string_view tok = tokens[i];
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        return fail("bad trigger '" + std::string(tok) +
+                    "' (want p=<prob>, every=<N>, or once=<N>)");
+      }
+      const std::string_view key = tok.substr(0, eq);
+      const std::string_view value = tok.substr(eq + 1);
+      if (key == "p") {
+        if (!ParseProbability(value, &spec.probability)) {
+          return fail("bad probability '" + std::string(value) +
+                      "' (want a float in [0, 1])");
+        }
+      } else if (key == "every") {
+        if (!ParseU64(value, &spec.every_nth) || spec.every_nth == 0) {
+          return fail("bad ordinal '" + std::string(value) +
+                      "' (want an integer >= 1)");
+        }
+      } else if (key == "once") {
+        if (!ParseU64(value, &spec.once_at) || spec.once_at == 0) {
+          return fail("bad one-shot ordinal '" + std::string(value) +
+                      "' (want an integer >= 1)");
+        }
+      } else {
+        return fail("unknown trigger '" + std::string(key) + "'");
+      }
+    }
+    directives.push_back(
+        {Directive::Kind::kArm, std::string(tokens[0]), spec, 0});
+  }
+
+  for (const Directive& d : directives) {
+    switch (d.kind) {
+      case Directive::Kind::kArm:
+        Arm(d.point, d.spec);
+        break;
+      case Directive::Kind::kDisarm:
+        Point(d.point).Disarm();
+        break;
+      case Directive::Kind::kSeed:
+        Reseed(d.seed);
+        break;
+      case Directive::Kind::kReset:
+        DisarmAll();
+        break;
+    }
+  }
+  return true;
+}
+
+std::string FaultPlane::StatusText() const {
+  std::ostringstream out;
+  out << "seed " << seed_ << '\n';
+  for (const auto& [name, point] : points_) {
+    out << name << ' ';
+    FormatSpec(out, point->spec());
+    out << " hits=" << point->hits() << " fires=" << point->fires() << '\n';
+  }
+  return out.str();
+}
+
+void FaultPlane::BindTelemetry(telemetry::MetricsRegistry& registry,
+                               std::string_view prefix) {
+  registry_ = &registry;
+  prefix_ = std::string(prefix);
+  for (auto& [name, point] : points_) BindPoint(*point);
+}
+
+void FaultPlane::BindPoint(FaultPoint& point) {
+  point.fires_counter_ =
+      &registry_->GetCounter(prefix_ + "." + point.name_ + ".fires");
+}
+
+std::vector<std::string> FaultPlane::Names() const {
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<FaultPlane> FaultPlane::FromEnv() {
+  const char* spec = std::getenv("DAOS_FAULTS");
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  std::uint64_t seed = 0xfa'017'fa'017ULL;
+  if (const char* seed_env = std::getenv("DAOS_FAULT_SEED")) {
+    if (!ParseU64(seed_env, &seed)) {
+      std::fprintf(stderr, "daos: ignoring bad DAOS_FAULT_SEED '%s'\n",
+                   seed_env);
+    }
+  }
+  auto plane = std::make_unique<FaultPlane>(seed);
+  std::string error;
+  if (!plane->Configure(spec, &error)) {
+    std::fprintf(stderr, "daos: ignoring bad DAOS_FAULTS: %s\n",
+                 error.c_str());
+    return nullptr;
+  }
+  return plane;
+}
+
+}  // namespace daos::fault

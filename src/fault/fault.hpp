@@ -1,0 +1,170 @@
+// Deterministic fault-injection plane.
+//
+// Production DAOS runs where swap devices fill up, page allocations fail,
+// THP collapses race with reclaim, and tuning trials misbehave; upstream
+// DAMON grew DAMOS quotas and watermark deactivation for exactly these
+// reasons. The reproduction needs those degradation paths to *exist* and to
+// be *testable*, so this module provides named fault points
+// ("swap.write_error", "thp.collapse_fail", ...) that the sim, DAMOS, and
+// autotune layers consult at their failure-prone operations.
+//
+// Determinism is the design constraint: each fault point draws from its own
+// RNG stream derived from (plane seed, point name), so a given seed replays
+// the exact same fault schedule no matter how other subsystems consume
+// randomness, and arming one point never perturbs another. With no points
+// armed, a check is a single predicted branch and no RNG draw — simulation
+// results are bit-identical to a build without the plane.
+//
+// Triggers (combinable per point; any firing trigger injects the fault):
+//   p=<prob>    fire each check with probability <prob>
+//   every=<N>   fire on every Nth check (N >= 1)
+//   once=<N>    fire exactly once, on the Nth check (1-based)
+//
+// The same grammar drives the dbgfs "/fault" control file (fault_fs.hpp),
+// kernel fault-injection style:  "swap.write_error p=0.2 every=100".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace daos::fault {
+
+// Well-known fault point names. Points are created on demand, so arbitrary
+// names work too; these are the ones the stack actually consults.
+inline constexpr std::string_view kSwapWriteError = "swap.write_error";
+inline constexpr std::string_view kSwapSlotExhausted = "swap.slot_exhausted";
+inline constexpr std::string_view kAllocFrameFail = "alloc.frame_fail";
+inline constexpr std::string_view kThpCollapseFail = "thp.collapse_fail";
+inline constexpr std::string_view kDaemonOverrun = "daemon.overrun";
+inline constexpr std::string_view kTrialHang = "trial.hang";
+
+/// Trigger configuration of one fault point. A point is armed when any
+/// trigger is set; triggers combine (any firing one injects the fault).
+struct FaultSpec {
+  double probability = 0.0;     // [0, 1]: fire each check with this chance
+  std::uint64_t every_nth = 0;  // fire when the check ordinal is a multiple
+  std::uint64_t once_at = 0;    // fire exactly once, on this check (1-based)
+
+  bool armed() const noexcept {
+    return probability > 0.0 || every_nth > 0 || once_at > 0;
+  }
+};
+
+/// One named fault point. Handles are stable for the plane's lifetime, so
+/// hot paths resolve a point once and call Check() per operation — a single
+/// branch while disarmed.
+class FaultPoint {
+ public:
+  /// Consults the point at a failure-prone operation. Returns true when the
+  /// fault fires (the operation must fail). Counts the check either way.
+  bool Check() noexcept {
+    if (!armed_) return false;
+    return Roll();
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const FaultSpec& spec() const noexcept { return spec_; }
+  bool armed() const noexcept { return armed_; }
+  /// Checks observed since the point was last (re)armed or reseeded.
+  std::uint64_t hits() const noexcept { return hits_; }
+  /// Faults injected since the point was last (re)armed or reseeded.
+  std::uint64_t fires() const noexcept { return fires_; }
+
+  /// Installs `spec` and restarts the schedule (ordinals and the RNG stream
+  /// rewind, so arming is reproducible regardless of prior checks).
+  void Arm(const FaultSpec& spec);
+  void Disarm();
+
+ private:
+  friend class FaultPlane;
+  FaultPoint(std::string name, std::uint64_t plane_seed);
+
+  bool Roll() noexcept;
+  void ResetSchedule();
+  static std::uint64_t StreamSeed(std::string_view name,
+                                  std::uint64_t plane_seed);
+
+  std::string name_;
+  std::uint64_t plane_seed_;
+  bool armed_ = false;
+  FaultSpec spec_;
+  Rng rng_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t fires_ = 0;
+  bool once_done_ = false;
+  telemetry::Counter* fires_counter_ = nullptr;  // null until telemetry bound
+};
+
+/// True when `point` is non-null and its check fires. Call-site helper for
+/// layers holding optional handles (null plane == faults compiled out).
+inline bool Fires(FaultPoint* point) noexcept {
+  return point != nullptr && point->Check();
+}
+
+/// The set of fault points of one simulated machine/runtime, plus the text
+/// control surface the dbgfs "/fault" file exposes.
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed = 0xfa'017'fa'017ULL);
+
+  /// Stable handle for `name`, creating the (disarmed) point on first use.
+  FaultPoint& Point(std::string_view name);
+  /// Existing point or nullptr; never creates.
+  FaultPoint* Find(std::string_view name);
+  const FaultPoint* Find(std::string_view name) const;
+
+  void Arm(std::string_view name, const FaultSpec& spec) {
+    Point(name).Arm(spec);
+  }
+  void DisarmAll();
+
+  /// Re-derives every point's RNG stream from `seed` and rewinds all
+  /// schedules: two planes with equal seeds and specs inject identically.
+  void Reseed(std::uint64_t seed);
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Applies a text configuration (the "/fault" write format): one
+  /// directive per line ('\n' or ';' separated, '#' comments), each either
+  ///   <point> <trigger>...   with triggers p=<prob> every=<N> once=<N>
+  ///   <point> off
+  ///   seed <u64>
+  ///   reset
+  /// All-or-nothing: on any parse error nothing is applied and `error`
+  /// (when non-null) gets a line-numbered message.
+  bool Configure(std::string_view text, std::string* error = nullptr);
+
+  /// One line per point: "<name> <trigger-spec|off> hits=<n> fires=<n>".
+  std::string StatusText() const;
+
+  /// Publishes "<prefix>.<point>.fires" counters for every current and
+  /// future point. The registry must outlive the plane's checks.
+  void BindTelemetry(telemetry::MetricsRegistry& registry,
+                     std::string_view prefix = "fault");
+
+  std::vector<std::string> Names() const;
+
+  /// Builds a plane from the DAOS_FAULTS (spec text) and DAOS_FAULT_SEED
+  /// environment variables; returns nullptr when DAOS_FAULTS is unset or
+  /// invalid (invalid specs are reported on stderr, never fatal). This is
+  /// how CI stress jobs arm faults under unmodified binaries.
+  static std::unique_ptr<FaultPlane> FromEnv();
+
+ private:
+  void BindPoint(FaultPoint& point);
+
+  std::uint64_t seed_;
+  // unique_ptr keeps FaultPoint handles stable across map growth.
+  std::map<std::string, std::unique_ptr<FaultPoint>, std::less<>> points_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  std::string prefix_;
+};
+
+}  // namespace daos::fault

@@ -1,15 +1,19 @@
 #include "sim/address_space.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "fault/fault.hpp"
 #include "sim/machine.hpp"
+#include "util/check.hpp"
 
 namespace daos::sim {
 namespace {
 
 constexpr SimTimeUs kLogHorizonUs = 10 * kUsPerSec;
 constexpr std::size_t kLogCap = 4096;
+// Direct-reclaim stall charged to a task whose frame allocation had to
+// reclaim synchronously (order-of-magnitude of a kernel direct reclaim).
+constexpr double kAllocStallUs = 250.0;
 
 std::uint32_t ToMs(SimTimeUs us) { return static_cast<std::uint32_t>(us / 1000); }
 
@@ -24,7 +28,7 @@ Vma::Vma(Addr start, Addr end, std::string name)
       end_(end),
       aligned_base_(AlignDown(start, kHugePageSize)),
       name_(std::move(name)) {
-  assert(start % kPageSize == 0 && end % kPageSize == 0 && end > start);
+  // Bounds are validated by AddressSpace::Map before construction.
   pages_.resize(static_cast<std::size_t>((end - start) >> kPageShift));
   const std::size_t nblocks = static_cast<std::size_t>(
       (AlignUp(end, kHugePageSize) - aligned_base_) >> kHugePageShift);
@@ -98,19 +102,25 @@ AddressSpace::~AddressSpace() {
   machine_->UnregisterSpace(this);
 }
 
-Vma& AddressSpace::Map(Addr start, std::uint64_t len, std::string name) {
+Vma* AddressSpace::Map(Addr start, std::uint64_t len, std::string name) {
   const Addr aligned_start = AlignDown(start, kPageSize);
   const Addr aligned_end = AlignUp(start + len, kPageSize);
-  // Insert keeping vmas_ sorted by start; overlap is a caller bug.
+  if (!DAOS_CHECK(len > 0 && aligned_end > aligned_start)) return nullptr;
+  // Insert keeping vmas_ sorted by start; an overlapping request is
+  // refused (mmap(MAP_FIXED_NOREPLACE) semantics), not asserted on — the
+  // bounds come straight from workload/scheme inputs.
   auto it = std::lower_bound(
       vmas_.begin(), vmas_.end(), aligned_start,
       [](const Vma& v, Addr a) { return v.start() < a; });
-  assert((it == vmas_.end() || it->start() >= aligned_end) &&
-         (it == vmas_.begin() || std::prev(it)->end() <= aligned_start));
+  if (!DAOS_CHECK((it == vmas_.end() || it->start() >= aligned_end) &&
+                  (it == vmas_.begin() ||
+                   std::prev(it)->end() <= aligned_start))) {
+    return nullptr;
+  }
   it = vmas_.emplace(it, aligned_start, aligned_end, std::move(name));
   mapped_bytes_ += it->size();
   ++layout_gen_;
-  return *it;
+  return &*it;
 }
 
 void AddressSpace::UnmapVma(Addr start) {
@@ -150,7 +160,7 @@ const Vma* AddressSpace::FindVma(Addr a) const {
 
 void AddressSpace::MakeResident(Vma& vma, std::size_t page_idx, bool via_thp) {
   Page& pg = vma.pages_[page_idx];
-  assert(!pg.Present());
+  if (!DAOS_CHECK(!pg.Present())) return;  // already resident: keep accounting
   pg.Set(Page::kPresent);
   machine_->ChargeFrames(1);
   ++resident_pages_;
@@ -164,7 +174,7 @@ void AddressSpace::MakeResident(Vma& vma, std::size_t page_idx, bool via_thp) {
 
 void AddressSpace::MakeNonResident(Vma& vma, std::size_t page_idx) {
   Page& pg = vma.pages_[page_idx];
-  assert(pg.Present());
+  if (!DAOS_CHECK(pg.Present())) return;  // already gone: keep accounting
   pg.Clear(Page::kPresent);
   pg.Clear(Page::kAccessed);
   pg.Clear(Page::kDeactivated);
@@ -183,6 +193,17 @@ TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
   TouchStats st;
   Page& pg = vma.pages_[page_idx];
   const CostModel& costs = machine_->costs();
+  if (fault::Fires(machine_->faults().alloc_frame_fail)) {
+    // No free frame on first try: the allocating task enters direct
+    // reclaim and stalls, then retries. If reclaim produced nothing the
+    // machine latches an OOM condition for the System to act on; the
+    // retry itself is allowed to proceed (the kernel's last-ditch alloc).
+    ++machine_->counters().alloc_stalls;
+    st.stall_us += kAllocStallUs;
+    if (machine_->DirectReclaim(/*target_pages=*/32, now) == 0) {
+      machine_->RaiseOom();
+    }
+  }
   if (pg.Swapped()) {
     // Major fault: bring the page back from the swap device.
     machine_->swap().ReleasePage(zram_ratio_);
@@ -311,7 +332,8 @@ bool AddressSpace::IsResident(Addr addr) const {
   return vma != nullptr && vma->PageAt(addr).Present();
 }
 
-std::uint64_t AddressSpace::PageOutRange(Addr start, Addr end, SimTimeUs now) {
+std::uint64_t AddressSpace::PageOutRange(Addr start, Addr end, SimTimeUs now,
+                                         std::uint64_t* errors) {
   (void)now;
   std::uint64_t evicted = 0;
   for (Vma& vma : vmas_) {
@@ -329,12 +351,22 @@ std::uint64_t AddressSpace::PageOutRange(Addr start, Addr end, SimTimeUs now) {
     const std::size_t phi = vma.PageIndex(hi - 1) + 1;
     for (std::size_t i = plo; i < phi; ++i) {
       if (!vma.pages_[i].Present()) continue;
-      if (EvictPage(vma, i)) {
-        evicted += kPageSize;
-      } else {
-        // Swap device full (or absent): nothing more can leave.
-        ++machine_->counters().failed_evictions;
-        return evicted;
+      switch (TryEvictPage(vma, i)) {
+        case EvictOutcome::kEvicted:
+        case EvictOutcome::kFreed:
+          evicted += kPageSize;
+          break;
+        case EvictOutcome::kWriteError:
+          // Transient device I/O failure: this page stays resident, the
+          // rest of the range is still worth trying.
+          if (errors != nullptr) ++*errors;
+          break;
+        case EvictOutcome::kNoSlot:
+          // Swap device full (or absent): nothing more can leave.
+          ++machine_->counters().failed_evictions;
+          return evicted;
+        case EvictOutcome::kNotEvictable:
+          break;
       }
     }
   }
@@ -380,7 +412,8 @@ std::uint64_t AddressSpace::DeactivateRange(Addr start, Addr end) {
   return bytes;
 }
 
-std::uint64_t AddressSpace::PromoteRange(Addr start, Addr end, SimTimeUs now) {
+std::uint64_t AddressSpace::PromoteRange(Addr start, Addr end, SimTimeUs now,
+                                         std::uint64_t* errors) {
   std::uint64_t bytes = 0;
   for (Vma& vma : vmas_) {
     if (vma.end() <= start || vma.start() >= end) continue;
@@ -397,7 +430,7 @@ std::uint64_t AddressSpace::PromoteRange(Addr start, Addr end, SimTimeUs now) {
       const Addr overlap = std::min(hi, bstart + kHugePageSize) -
                            std::max(lo, bstart);
       if (overlap * 2 < kHugePageSize) continue;
-      bytes += PromoteBlock(vma, b, now);
+      bytes += PromoteBlock(vma, b, now, errors);
     }
   }
   return bytes;
@@ -419,10 +452,19 @@ std::uint64_t AddressSpace::DemoteRange(Addr start, Addr end) {
 }
 
 std::uint64_t AddressSpace::PromoteBlock(Vma& vma, std::size_t block,
-                                         SimTimeUs now) {
+                                         SimTimeUs now,
+                                         std::uint64_t* errors) {
   if (block >= vma.block_count()) return 0;
   Vma::Block& blk = vma.block(block);
   if (blk.huge || !vma.BlockIsFull(block)) return 0;
+  if (fault::Fires(machine_->faults().thp_collapse_fail)) {
+    // Collapse failed (allocation failure / raced with reclaim in a real
+    // kernel): the block stays 4 KiB-mapped and will be retried by a later
+    // scan or scheme pass.
+    ++machine_->counters().thp_collapse_errors;
+    if (errors != nullptr) ++*errors;
+    return 0;
+  }
   const auto [plo, phi] = vma.BlockPageSpan(block);
   std::uint64_t newly_resident = 0;
   for (std::size_t i = plo; i < phi; ++i) {
@@ -465,15 +507,27 @@ std::uint64_t AddressSpace::DemoteBlock(Vma& vma, std::size_t block) {
   return freed;
 }
 
-bool AddressSpace::EvictPage(Vma& vma, std::size_t page_idx) {
+AddressSpace::EvictOutcome AddressSpace::TryEvictPage(Vma& vma,
+                                                      std::size_t page_idx) {
   Page& pg = vma.pages_[page_idx];
-  if (!pg.Present() || pg.Huge()) return false;
+  if (!pg.Present() || pg.Huge()) return EvictOutcome::kNotEvictable;
   if (!pg.EverTouched()) {
     // Pure bloat page: no content worth swapping, just free it.
     MakeNonResident(vma, page_idx);
-    return true;
+    return EvictOutcome::kFreed;
   }
-  if (!machine_->swap().StorePage(zram_ratio_)) return false;
+  if (fault::Fires(machine_->faults().swap_write_error)) {
+    // Transient write-back failure: the kernel keeps the page (still dirty,
+    // still mapped) and reclaim moves on to another victim.
+    ++machine_->counters().swap_write_errors;
+    return EvictOutcome::kWriteError;
+  }
+  if (fault::Fires(machine_->faults().swap_slot_exhausted)) {
+    // Injected device-full condition: same degradation as a truly full
+    // device, without needing a tiny swap config in tests.
+    return EvictOutcome::kNoSlot;
+  }
+  if (!machine_->swap().StorePage(zram_ratio_)) return EvictOutcome::kNoSlot;
   if (pg.Dirty()) {
     ++dirty_evictions_;
   } else {
@@ -483,7 +537,7 @@ bool AddressSpace::EvictPage(Vma& vma, std::size_t page_idx) {
   pg.Set(Page::kSwapped);
   pg.Clear(Page::kDirty);
   ++swapped_pages_;
-  return true;
+  return EvictOutcome::kEvicted;
 }
 
 void AddressSpace::MaintainLogs(SimTimeUs now) {

@@ -130,7 +130,11 @@ class AddressSpace {
   double zram_ratio() const noexcept { return zram_ratio_; }
 
   // --- layout ---------------------------------------------------------------
-  Vma& Map(Addr start, std::uint64_t len, std::string name);
+  /// Maps [start, start+len) page-aligned. Returns nullptr (operation
+  /// refused, address space unchanged) on a zero-length request or overlap
+  /// with an existing VMA — caller-controllable inputs fail recoverably
+  /// instead of aborting. The pointer is invalidated by the next Map/Unmap.
+  Vma* Map(Addr start, std::uint64_t len, std::string name);
   /// Unmaps a whole VMA identified by its start address; frees its frames.
   void UnmapVma(Addr start);
   const std::vector<Vma>& vmas() const noexcept { return vmas_; }
@@ -158,30 +162,52 @@ class AddressSpace {
   // --- DAMOS action side ------------------------------------------------------
   /// Evicts resident pages in [start, end) to the machine's swap device.
   /// Huge mappings inside the range are demoted first (as the kernel splits
-  /// THPs on pageout). Returns bytes actually paged out.
-  std::uint64_t PageOutRange(Addr start, Addr end, SimTimeUs now);
+  /// THPs on pageout). Returns bytes actually paged out. Transient write
+  /// errors (injected swap.write_error) skip the page — it stays resident —
+  /// and are counted into `*errors` when non-null; a full device stops the
+  /// range.
+  std::uint64_t PageOutRange(Addr start, Addr end, SimTimeUs now,
+                             std::uint64_t* errors = nullptr);
   /// Swaps in any swapped pages in the range (WILLNEED). Returns bytes.
   std::uint64_t SwapInRange(Addr start, Addr end, SimTimeUs now);
   /// Marks the range as reclaim-first (COLD). Returns bytes affected.
   std::uint64_t DeactivateRange(Addr start, Addr end);
   /// Promotes fully-contained 2 MiB blocks to huge mappings (HUGEPAGE).
   /// Untouched sub-pages become resident "bloat". Returns bytes newly
-  /// resident.
-  std::uint64_t PromoteRange(Addr start, Addr end, SimTimeUs now);
+  /// resident. Injected collapse failures are counted into `*errors`.
+  std::uint64_t PromoteRange(Addr start, Addr end, SimTimeUs now,
+                             std::uint64_t* errors = nullptr);
   /// Splits huge mappings in the range (NOHUGEPAGE) and frees sub-pages the
   /// workload never touched (the bloat). Returns bytes freed.
   std::uint64_t DemoteRange(Addr start, Addr end);
 
   // --- THP internals (also used by the machine's khugepaged) -----------------
   /// Promotes one block of `vma` to a huge mapping. Returns bytes newly
-  /// resident, or 0 if not promotable.
-  std::uint64_t PromoteBlock(Vma& vma, std::size_t block, SimTimeUs now);
+  /// resident, or 0 if not promotable (or the collapse failed — counted in
+  /// the machine's thp_collapse_errors and `*errors` when non-null).
+  std::uint64_t PromoteBlock(Vma& vma, std::size_t block, SimTimeUs now,
+                             std::uint64_t* errors = nullptr);
   std::uint64_t DemoteBlock(Vma& vma, std::size_t block);
 
   // --- reclaim support --------------------------------------------------------
+  enum class EvictOutcome : std::uint8_t {
+    kEvicted,       // stored to swap, page now non-resident
+    kFreed,         // never-touched bloat page dropped without swap
+    kWriteError,    // injected device write failure; page stays resident
+    kNoSlot,        // swap full or absent; page stays resident
+    kNotEvictable,  // not present, or huge-mapped
+  };
   /// Evicts one specific resident, non-huge page (used by the baseline
-  /// reclaimer). Returns true on success.
-  bool EvictPage(Vma& vma, std::size_t page_idx);
+  /// reclaimer and PageOutRange), distinguishing why eviction did not
+  /// happen so callers can fall back per-cause.
+  EvictOutcome TryEvictPage(Vma& vma, std::size_t page_idx);
+  /// Convenience wrapper: true when the page left memory. On any failure —
+  /// including a transient write error — the reclaimer just moves to the
+  /// next victim.
+  bool EvictPage(Vma& vma, std::size_t page_idx) {
+    const EvictOutcome o = TryEvictPage(vma, page_idx);
+    return o == EvictOutcome::kEvicted || o == EvictOutcome::kFreed;
+  }
 
   // --- statistics --------------------------------------------------------------
   std::uint64_t resident_bytes() const noexcept {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "sim/address_space.hpp"
 #include "sim/reclaim.hpp"
 #include "sim/thp.hpp"
@@ -15,6 +16,8 @@ constexpr double kLowWatermark = 0.88;
 // Linux khugepaged defaults: scan 4096 pages every 10 s => 8 blocks / 10 s.
 constexpr SimTimeUs kKhugepagedPeriod = 10 * kUsPerSec;
 constexpr std::uint64_t kKhugepagedBlockBudget = 8;
+// Collapse-failure backoff cap: period stretched at most 64x (~10 min).
+constexpr std::uint64_t kKhugepagedMaxBackoff = 64;
 
 }  // namespace
 
@@ -76,9 +79,42 @@ void Machine::RunReclaimIfNeeded(SimTimeUs now) {
 void Machine::RunKhugepaged(SimTimeUs now) {
   if (thp_mode_ != ThpMode::kAlways) return;
   if (now < next_khugepaged_) return;
-  next_khugepaged_ = now + kKhugepagedPeriod;
-  counters_.khugepaged_collapses +=
+  const std::uint64_t errors_before = counters_.thp_collapse_errors;
+  const std::uint64_t collapsed =
       RunKhugepagedScan(*this, kKhugepagedBlockBudget, now);
+  counters_.khugepaged_collapses += collapsed;
+  // A scan that only produced collapse errors stretches the next period
+  // (khugepaged's alloc-sleep backoff analogue); any successful collapse
+  // re-arms the default rate.
+  if (collapsed == 0 && counters_.thp_collapse_errors > errors_before) {
+    if (khugepaged_backoff_ < kKhugepagedMaxBackoff) {
+      khugepaged_backoff_ *= 2;
+      ++counters_.khugepaged_backoffs;
+    }
+  } else if (collapsed > 0) {
+    khugepaged_backoff_ = 1;
+  }
+  next_khugepaged_ = now + kKhugepagedPeriod * khugepaged_backoff_;
+}
+
+std::uint64_t Machine::DirectReclaim(std::uint64_t target_pages, SimTimeUs now) {
+  const std::uint64_t budget =
+      std::min<std::uint64_t>(target_pages * 8, 1u << 18);
+  const std::uint64_t got = reclaimer_->Reclaim(target_pages, budget, now);
+  ++counters_.reclaim_scans;
+  counters_.reclaimed_pages += got;
+  return got;
+}
+
+void Machine::SetFaultPlane(fault::FaultPlane* plane) {
+  if (plane == nullptr) {
+    faults_ = MachineFaultPoints{};
+    return;
+  }
+  faults_.swap_write_error = &plane->Point(fault::kSwapWriteError);
+  faults_.swap_slot_exhausted = &plane->Point(fault::kSwapSlotExhausted);
+  faults_.alloc_frame_fail = &plane->Point(fault::kAllocFrameFail);
+  faults_.thp_collapse_fail = &plane->Point(fault::kThpCollapseFail);
 }
 
 }  // namespace daos::sim

@@ -14,6 +14,11 @@
 #include "sim/swap.hpp"
 #include "util/types.hpp"
 
+namespace daos::fault {
+class FaultPlane;
+class FaultPoint;
+}  // namespace daos::fault
+
 namespace daos::sim {
 
 class AddressSpace;
@@ -58,6 +63,19 @@ struct MachineCounters {
   std::uint64_t failed_evictions = 0;  // swap full / no device
   std::uint64_t khugepaged_collapses = 0;
   std::uint64_t overcommit_events = 0;
+  std::uint64_t swap_write_errors = 0;     // injected swap-out I/O failures
+  std::uint64_t alloc_stalls = 0;          // frame allocs that hit direct reclaim
+  std::uint64_t thp_collapse_errors = 0;   // injected collapse failures
+  std::uint64_t khugepaged_backoffs = 0;   // scan periods stretched after errors
+};
+
+/// Fault points the sim layer consults, resolved once at SetFaultPlane time
+/// so hot paths pay a null check while faults are disabled.
+struct MachineFaultPoints {
+  fault::FaultPoint* swap_write_error = nullptr;
+  fault::FaultPoint* swap_slot_exhausted = nullptr;
+  fault::FaultPoint* alloc_frame_fail = nullptr;
+  fault::FaultPoint* thp_collapse_fail = nullptr;
 };
 
 class Machine {
@@ -102,8 +120,28 @@ class Machine {
   /// low watermark (bounded per call).
   void RunReclaimIfNeeded(SimTimeUs now);
   /// khugepaged: slow background collapse of partially-resident blocks when
-  /// THP is in `always` mode. Models the Linux default scan rate.
+  /// THP is in `always` mode. Models the Linux default scan rate; failing
+  /// scans (injected collapse errors, no progress) stretch the period
+  /// exponentially and a successful collapse re-arms it.
   void RunKhugepaged(SimTimeUs now);
+  /// Direct reclaim on the allocation path: an allocating task that found
+  /// no free frame reclaims synchronously. Returns pages reclaimed.
+  std::uint64_t DirectReclaim(std::uint64_t target_pages, SimTimeUs now);
+
+  // --- fault injection --------------------------------------------------------
+  /// Resolves the sim-layer fault points from `plane` (nullptr disables).
+  /// The plane must outlive the machine.
+  void SetFaultPlane(fault::FaultPlane* plane);
+  const MachineFaultPoints& faults() const noexcept { return faults_; }
+
+  /// Latched when an allocation could not be satisfied even after direct
+  /// reclaim; the System turns it into an OOM kill on its next step.
+  void RaiseOom() noexcept { oom_pending_ = true; }
+  bool TakeOomPending() noexcept {
+    const bool p = oom_pending_;
+    oom_pending_ = false;
+    return p;
+  }
 
   MachineCounters& counters() noexcept { return counters_; }
   const MachineCounters& counters() const noexcept { return counters_; }
@@ -117,7 +155,10 @@ class Machine {
   std::vector<AddressSpace*> spaces_;
   std::unique_ptr<Reclaimer> reclaimer_;
   SimTimeUs next_khugepaged_ = 0;
+  std::uint64_t khugepaged_backoff_ = 1;  // period multiplier, doubled on failure
   MachineCounters counters_;
+  MachineFaultPoints faults_;
+  bool oom_pending_ = false;
 };
 
 }  // namespace daos::sim

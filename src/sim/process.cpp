@@ -62,6 +62,19 @@ bool Process::RunQuantum(SimTimeUs now, SimTimeUs quantum) {
   return false;
 }
 
+void Process::Kill(SimTimeUs now) {
+  if (finished_) return;
+  finished_ = true;
+  oom_killed_ = true;
+  finish_time_ = now;
+  // Release everything the space holds; collect starts first so unmapping
+  // doesn't invalidate the iteration.
+  std::vector<Addr> starts;
+  starts.reserve(space_.vmas().size());
+  for (const Vma& vma : space_.vmas()) starts.push_back(vma.start());
+  for (const Addr s : starts) space_.UnmapVma(s);
+}
+
 ProcessMetrics Process::Metrics(SimTimeUs now) const {
   ProcessMetrics m;
   const SimTimeUs end = finished_ ? finish_time_ : now;
@@ -77,6 +90,7 @@ ProcessMetrics Process::Metrics(SimTimeUs now) const {
   m.minor_faults = space_.minor_faults();
   m.stall_s = total_stall_us_ / kUsPerSec;
   m.interference_s = interference_us_ / kUsPerSec;
+  m.oom_killed = oom_killed_;
   return m;
 }
 

@@ -64,6 +64,7 @@ struct ProcessMetrics {
   std::uint64_t minor_faults = 0;
   double stall_s = 0.0;             // total fault stall absorbed
   double interference_s = 0.0;      // stall injected by monitoring overhead
+  bool oom_killed = false;          // terminated by the OOM-kill path
 };
 
 class Process {
@@ -90,6 +91,12 @@ class Process {
   /// Runs one scheduler quantum; returns true if the process just finished.
   bool RunQuantum(SimTimeUs now, SimTimeUs quantum);
 
+  /// OOM-kill: terminates the process and unmaps its whole address space,
+  /// returning every frame and swap slot to the machine (the kill is how
+  /// the kernel gets memory back when reclaim can't).
+  void Kill(SimTimeUs now);
+  bool oom_killed() const noexcept { return oom_killed_; }
+
   ProcessMetrics Metrics(SimTimeUs now) const;
 
  private:
@@ -100,6 +107,7 @@ class Process {
   std::unique_ptr<AccessSource> source_;
   bool layout_built_ = false;
   bool finished_ = false;
+  bool oom_killed_ = false;
   SimTimeUs finish_time_ = 0;
   SimTimeUs started_at_ = 0;
   bool started_ = false;

@@ -6,7 +6,39 @@ namespace daos::sim {
 
 System::System(const MachineSpec& spec, const SwapConfig& swap, ThpMode thp,
                SimTimeUs quantum)
-    : machine_(spec, swap, thp), quantum_(quantum) {}
+    : machine_(spec, swap, thp), quantum_(quantum) {
+  // CI stress runs arm faults on unmodified binaries via DAOS_FAULTS /
+  // DAOS_FAULT_SEED; when unset this is a nullptr and nothing changes.
+  owned_faults_ = fault::FaultPlane::FromEnv();
+  if (owned_faults_ != nullptr) SetFaultPlane(owned_faults_.get());
+}
+
+void System::SetFaultPlane(fault::FaultPlane* plane) {
+  fault_plane_ = plane;
+  machine_.SetFaultPlane(plane);
+  daemon_overrun_ =
+      plane != nullptr ? &plane->Point(fault::kDaemonOverrun) : nullptr;
+}
+
+void System::OomKill(SimTimeUs now) {
+  // Kill the largest-RSS unfinished process — the badness heuristic the
+  // kernel's OOM killer reduces to when all tasks are equal otherwise.
+  Process* victim = nullptr;
+  for (auto& proc : processes_) {
+    if (proc->finished()) continue;
+    if (victim == nullptr || proc->ReadRssBytes() > victim->ReadRssBytes())
+      victim = proc.get();
+  }
+  if (victim == nullptr) return;
+  const std::uint64_t freed = victim->ReadRssBytes();
+  victim->Kill(now);
+  ++oom_kills_;
+  if (trace_ != nullptr) {
+    // id=pid, arg0=bytes freed by the kill.
+    trace_->Push({now, telemetry::EventKind::kOomKill,
+                  static_cast<std::uint32_t>(victim->pid()), freed, 0, 0});
+  }
+}
 
 Process& System::AddProcess(ProcessParams params,
                             std::unique_ptr<AccessSource> source) {
@@ -60,6 +92,10 @@ void System::PublishTelemetry(SimTimeUs now) {
        telemetry::EventKind::kSwapOut},
       {"sim.thp.collapses", mc.khugepaged_collapses,
        &last_.khugepaged_collapses, telemetry::EventKind::kThpCollapse},
+      {"sim.swap.errors", mc.swap_write_errors, &last_.swap_write_errors,
+       telemetry::EventKind::kSwapError},
+      {"sim.oom_kills", oom_kills_, &last_.oom_kills,
+       telemetry::EventKind::kOomKill},
   };
   for (DeltaSpec& d : deltas) {
     const std::uint64_t delta = d.current - *d.last;
@@ -74,6 +110,24 @@ void System::PublishTelemetry(SimTimeUs now) {
   const std::uint64_t scan_delta = mc.reclaim_scans - last_.reclaim_scans;
   last_.reclaim_scans = mc.reclaim_scans;
   if (scan_delta > 0) registry_->GetCounter("sim.reclaim.scans").Add(scan_delta);
+
+  // Event-less error counters (failure paths that already traced above or
+  // need no tracepoint of their own).
+  struct PlainDelta {
+    const char* name;
+    std::uint64_t current;
+    std::uint64_t* last;
+  } plain[] = {
+      {"sim.alloc.errors", mc.alloc_stalls, &last_.alloc_stalls},
+      {"sim.thp.collapse_errors", mc.thp_collapse_errors,
+       &last_.thp_collapse_errors},
+      {"sim.daemon.overruns", daemon_overruns_, &last_.daemon_overruns},
+  };
+  for (PlainDelta& d : plain) {
+    const std::uint64_t delta = d.current - *d.last;
+    *d.last = d.current;
+    if (delta > 0) registry_->GetCounter(d.name).Add(delta);
+  }
 }
 
 void System::Step() {
@@ -82,7 +136,15 @@ void System::Step() {
   for (auto& proc : processes_) proc->RunQuantum(now, quantum_);
 
   double interference_us = 0.0;
-  for (Daemon& daemon : daemons_) interference_us += daemon(now, quantum_);
+  for (Daemon& daemon : daemons_) {
+    interference_us += daemon(now, quantum_);
+    if (fault::Fires(daemon_overrun_)) {
+      // Daemon overshot its slice: a whole quantum of extra interference
+      // lands on the workload (a kdamond stuck in a long rmap walk).
+      interference_us += static_cast<double>(quantum_);
+      ++daemon_overruns_;
+    }
+  }
   if (interference_hist_ != nullptr && interference_us > 0.0)
     interference_hist_->Observe(interference_us);
   if (interference_us > 0.0) {
@@ -100,6 +162,7 @@ void System::Step() {
 
   machine_.RunKhugepaged(now);
   machine_.RunReclaimIfNeeded(now);
+  if (machine_.TakeOomPending()) OomKill(now);
 
   if (now >= next_log_gc_) {
     next_log_gc_ = now + kUsPerSec;
@@ -138,6 +201,8 @@ SystemMetrics System::Run(SimTimeUs max_time) {
   m.swap_ins = machine_.swap().total_ins();
   m.swap_outs = machine_.swap().total_outs();
   m.swap_used_slots = machine_.swap().used_slots();
+  m.swap_write_errors = machine_.counters().swap_write_errors;
+  m.oom_kills = oom_kills_;
   return m;
 }
 

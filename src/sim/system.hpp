@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/clock.hpp"
 #include "sim/machine.hpp"
 #include "sim/process.hpp"
@@ -30,6 +31,8 @@ struct SystemMetrics {
   std::uint64_t swap_ins = 0;
   std::uint64_t swap_outs = 0;
   std::uint64_t swap_used_slots = 0;
+  std::uint64_t swap_write_errors = 0;  // injected swap-out failures absorbed
+  std::uint64_t oom_kills = 0;          // processes killed to relieve pressure
 };
 
 class System {
@@ -52,6 +55,15 @@ class System {
 
   void RegisterDaemon(Daemon daemon) { daemons_.push_back(std::move(daemon)); }
 
+  /// Points the machine (and the System's own daemon.overrun check) at
+  /// `plane`; nullptr disarms everything. The plane must outlive the
+  /// system unless it is the env-armed plane the ctor created itself.
+  void SetFaultPlane(fault::FaultPlane* plane);
+  /// The env-armed plane (DAOS_FAULTS), if the ctor created one.
+  fault::FaultPlane* fault_plane() noexcept { return fault_plane_; }
+
+  std::uint64_t oom_kills() const noexcept { return oom_kills_; }
+
   /// Attaches the telemetry plane: every `interval` of simulated time the
   /// daemon loop publishes system gauges (DRAM use, swap slots, active
   /// processes), mirrors the machine/swap counters into monotonic registry
@@ -73,6 +85,7 @@ class System {
 
  private:
   void PublishTelemetry(SimTimeUs now);
+  void OomKill(SimTimeUs now);
 
   SimClock clock_;
   Machine machine_;
@@ -81,6 +94,11 @@ class System {
   std::vector<Daemon> daemons_;
   int next_pid_ = 1;
   SimTimeUs next_log_gc_ = 0;
+  std::unique_ptr<fault::FaultPlane> owned_faults_;  // env-armed (DAOS_FAULTS)
+  fault::FaultPlane* fault_plane_ = nullptr;
+  fault::FaultPoint* daemon_overrun_ = nullptr;
+  std::uint64_t daemon_overruns_ = 0;
+  std::uint64_t oom_kills_ = 0;
 
   // Telemetry snapshot state (inactive until AttachTelemetry).
   telemetry::MetricsRegistry* registry_ = nullptr;
@@ -94,6 +112,11 @@ class System {
     std::uint64_t swap_ins = 0;
     std::uint64_t swap_outs = 0;
     std::uint64_t khugepaged_collapses = 0;
+    std::uint64_t swap_write_errors = 0;
+    std::uint64_t alloc_stalls = 0;
+    std::uint64_t thp_collapse_errors = 0;
+    std::uint64_t oom_kills = 0;
+    std::uint64_t daemon_overruns = 0;
   } last_;  // previous snapshot's counter values (for deltas)
 };
 

@@ -26,6 +26,12 @@ std::string_view EventKindName(EventKind kind) {
       return "thp_collapse";
     case EventKind::kTuneStep:
       return "tune_step";
+    case EventKind::kSwapError:
+      return "swap_error";
+    case EventKind::kOomKill:
+      return "oom_kill";
+    case EventKind::kSchemeBackoff:
+      return "scheme_backoff";
   }
   return "?";
 }

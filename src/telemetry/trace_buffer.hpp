@@ -29,6 +29,9 @@ enum class EventKind : std::uint8_t {
   kSwapOut,      // pages written out to the swap device
   kThpCollapse,  // khugepaged collapsed blocks
   kTuneStep,     // one autotune sample trial finished
+  kSwapError,    // swap-out write failures (injected or device)
+  kOomKill,      // a process was OOM-killed to relieve pressure
+  kSchemeBackoff,  // a DAMOS scheme was backed off after repeated failures
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -1,0 +1,38 @@
+// Recoverable validation for caller-controllable inputs.
+//
+// Plain assert() is the wrong tool at the boundary between layers: a
+// malformed VMA range or a double page-present transition coming from a
+// scheme action should fail *that operation*, not abort the whole
+// simulation — especially in release builds where assert() silently
+// vanishes and the bad state flows onward. DAOS_CHECK(expr) evaluates to
+// `expr`, logging the first failures to stderr, so call sites write
+//
+//   if (!DAOS_CHECK(start % kPageSize == 0)) return nullptr;
+//
+// It never aborts, in any build type: the recovery paths behind failed
+// checks are exactly what the fault-injection tests exercise, including
+// under sanitizers. Internal invariants that cannot be triggered from
+// outside keep using assert().
+#pragma once
+
+#include <cstdio>
+
+namespace daos::detail {
+
+inline bool CheckFailed(const char* expr, const char* file, int line) {
+  // Cap the noise: a check inside a hot loop failing millions of times
+  // should not turn stderr into the bottleneck.
+  static int remaining = 32;
+  if (remaining > 0) {
+    --remaining;
+    std::fprintf(stderr, "daos: check failed: %s (%s:%d)%s\n", expr, file,
+                 line,
+                 remaining == 0 ? " [further check failures suppressed]" : "");
+  }
+  return false;
+}
+
+}  // namespace daos::detail
+
+#define DAOS_CHECK(expr) \
+  ((expr) ? true : ::daos::detail::CheckFailed(#expr, __FILE__, __LINE__))

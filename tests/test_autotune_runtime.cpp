@@ -98,5 +98,47 @@ TEST(DbgfsRuntimeTest, TunedSchemeVerifiesEndToEnd) {
   EXPECT_LT(verify.rss_bytes, 0.8 * result.baseline.rss_bytes);
 }
 
+TEST(DbgfsRuntimeTest, WatchdogKillsHungTrialAndRetrySucceeds) {
+  int boots = 0;
+  DbgfsRuntime runtime(MakeFactory(&boots), Config(),
+                       /*max_trial_time=*/20 * kUsPerSec,
+                       /*rss_poll_interval=*/kUsPerSec,
+                       /*max_trial_retries=*/1);
+  fault::FaultPlane plane(7);
+  plane.Point(fault::kTrialHang).Arm(fault::FaultSpec{0.0, 0, 1});
+  runtime.SetFaultPlane(&plane);
+
+  const TrialMeasurement m = runtime.RunOnce(nullptr);
+  // First attempt hangs, rides out the deadline and is discarded; the
+  // retry on a fresh environment measures normally.
+  EXPECT_FALSE(m.failed);
+  EXPECT_EQ(m.retries, 1);
+  EXPECT_EQ(runtime.trials(), 2);
+  EXPECT_EQ(boots, 2);
+  EXPECT_NEAR(m.runtime_s, 12.0, 1.5);
+}
+
+TEST(DbgfsRuntimeTest, TuneTerminatesWhenEveryTrialHangs) {
+  DbgfsRuntime runtime(MakeFactory(), Config(),
+                       /*max_trial_time=*/15 * kUsPerSec,
+                       /*rss_poll_interval=*/kUsPerSec,
+                       /*max_trial_retries=*/1);
+  fault::FaultPlane plane(7);
+  plane.Point(fault::kTrialHang).Arm(fault::FaultSpec{0.0, 1, 0});
+  runtime.SetFaultPlane(&plane);
+
+  // Tune() must come back even though no trial ever measures: every trial
+  // is watchdog-killed, retried its bounded once, and reported failed.
+  const TunerResult result = runtime.Tune(damos::Scheme::Prcl());
+  EXPECT_EQ(result.failed_trials, 6);   // baseline + 5 samples
+  EXPECT_EQ(result.retried_trials, 6);  // one bounded retry each
+  ASSERT_EQ(result.samples.size(), 5u);
+  for (const TunerSample& s : result.samples) EXPECT_TRUE(s.failed);
+  EXPECT_DOUBLE_EQ(result.predicted_score, 0.0);
+  const TunerConfig cfg = Config();
+  EXPECT_EQ(result.tuned.bounds().min_age,
+            (cfg.min_age_lo + cfg.min_age_hi) / 2);
+}
+
 }  // namespace
 }  // namespace daos::autotune

@@ -1,0 +1,195 @@
+// Malformed-input hardening: the text interfaces (scheme parser, debugfs
+// writes) must reject garbage with line-accurate errors and leave all
+// installed state untouched — never crash, never half-apply.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "damos/parser.hpp"
+#include "dbgfs/damon_dbgfs.hpp"
+#include "sim/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/profile.hpp"
+
+namespace daos {
+namespace {
+
+using damos::ParseResult;
+using damos::ParseSchemes;
+
+// --- parser ---------------------------------------------------------------
+
+TEST(MalformedParserTest, OverlongLineRejected) {
+  const std::string line(600, 'x');
+  const ParseResult r = ParseSchemes(line + "\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line_number, 1);
+  EXPECT_NE(r.errors[0].message.find("line too long"), std::string::npos);
+}
+
+TEST(MalformedParserTest, OverlongLineNumberAccurate) {
+  const std::string text =
+      "min max min min 2s max pageout\n" + std::string(4096, 'y') + "\n";
+  const ParseResult r = ParseSchemes(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line_number, 2);
+  // The valid line 1 still parsed (ParseSchemes reports per line).
+  EXPECT_EQ(r.schemes.size(), 1u);
+}
+
+TEST(MalformedParserTest, MinAgeAboveMaxAgeRejected) {
+  const ParseResult r = ParseSchemes("min max min min 10s 2s pageout\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("min_age exceeds max_age"),
+            std::string::npos);
+}
+
+TEST(MalformedParserTest, MinAgeMaxKeywordNotAnOrderingError) {
+  // "max max" uses the unbounded sentinel on both sides — legal.
+  EXPECT_TRUE(ParseSchemes("min max min min max max stat\n").ok());
+}
+
+TEST(MalformedParserTest, MinFreqAboveMaxFreqSameUnitRejected) {
+  const ParseResult pct = ParseSchemes("min max 80% 20% min max stat\n");
+  ASSERT_FALSE(pct.ok());
+  EXPECT_NE(pct.errors[0].message.find("min_freq exceeds max_freq"),
+            std::string::npos);
+  const ParseResult samples = ParseSchemes("min max 9 3 min max stat\n");
+  ASSERT_FALSE(samples.ok());
+}
+
+TEST(MalformedParserTest, MixedFreqUnitsNotComparable) {
+  // 90% vs 5 samples depends on the monitoring attrs; the parser must not
+  // guess an ordering.
+  EXPECT_TRUE(ParseSchemes("min max 90% 5 min max stat\n").ok());
+}
+
+TEST(MalformedParserTest, GarbageActionRejected) {
+  const ParseResult r = ParseSchemes("min max min min 2s max explode\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("unknown action 'explode'"),
+            std::string::npos);
+}
+
+TEST(MalformedParserTest, EmbeddedNulByteRejectedNotFatal) {
+  std::string line = "min max min min 2s max page";
+  line.push_back('\0');
+  line += "out\n";
+  const ParseResult r = ParseSchemes(line);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line_number, 1);
+}
+
+TEST(MalformedParserTest, Utf8GarbageRejectedNotFatal) {
+  const ParseResult r = ParseSchemes("gr\xc3\xb6\xc3\x9f\x65 max min min 2s max pageout\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("bad min_size"), std::string::npos);
+}
+
+TEST(MalformedParserTest, ErrorsCarryExactLineNumbers) {
+  const ParseResult r = ParseSchemes(
+      "# comment\n"
+      "min max min min 2s max pageout\n"
+      "\n"
+      "min max min min 2s max explode\n"
+      "4K 2K min min min max stat\n");
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_EQ(r.errors[0].line_number, 4);
+  EXPECT_EQ(r.errors[1].line_number, 5);
+  EXPECT_NE(r.errors[1].message.find("min_size exceeds max_size"),
+            std::string::npos);
+  EXPECT_EQ(r.schemes.size(), 1u);
+}
+
+// --- debugfs --------------------------------------------------------------
+
+workload::WorkloadProfile TinyProfile() {
+  workload::WorkloadProfile p;
+  p.name = "test/malformed";
+  p.suite = "test";
+  p.data_bytes = 16 * MiB;
+  p.runtime_s = 5;
+  p.noise = 0;
+  p.groups = {workload::GroupSpec{1.0, 0.0, 1.0, 0.3}};
+  return p;
+}
+
+class MalformedDbgfsTest : public ::testing::Test {
+ protected:
+  MalformedDbgfsTest()
+      : system_(sim::MachineSpec::I3Metal().GuestOf(), sim::SwapConfig::Zram(),
+                sim::ThpMode::kNever, 5 * kUsPerMs),
+        proc_(system_.AddProcess(workload::ToProcessParams(TinyProfile()),
+                                 workload::MakeSource(TinyProfile(), 3))),
+        dbgfs_(&system_, &fs_) {}
+
+  sim::System system_;
+  sim::Process& proc_;
+  dbgfs::PseudoFs fs_;
+  dbgfs::DamonDbgfs dbgfs_;
+};
+
+TEST_F(MalformedDbgfsTest, RejectedSchemesWriteKeepsPreviousSchemes) {
+  ASSERT_TRUE(fs_.Write("/damon/schemes", "min max min min 2s max pageout\n"));
+  ASSERT_EQ(dbgfs_.engine().schemes().size(), 1u);
+  const std::string before = dbgfs_.engine().schemes()[0].ToText();
+
+  std::string error;
+  EXPECT_FALSE(fs_.Write("/damon/schemes",
+                         "min max min min 1s max pageout\n"
+                         "totally not a scheme\n",
+                         &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  // All-or-nothing: neither the bad line nor the valid line 1 replaced the
+  // installed scheme.
+  ASSERT_EQ(dbgfs_.engine().schemes().size(), 1u);
+  EXPECT_EQ(dbgfs_.engine().schemes()[0].ToText(), before);
+}
+
+TEST_F(MalformedDbgfsTest, OverlongSchemesLineRejected) {
+  std::string error;
+  EXPECT_FALSE(
+      fs_.Write("/damon/schemes", std::string(100 * 1024, 'z'), &error));
+  EXPECT_NE(error.find("line too long"), std::string::npos);
+  EXPECT_TRUE(dbgfs_.engine().schemes().empty());
+}
+
+TEST_F(MalformedDbgfsTest, SchemesWriteWithNulByteRejected) {
+  std::string content = "min max min min 2s max stat";
+  content.push_back('\0');
+  content += "x\n";
+  std::string error;
+  EXPECT_FALSE(fs_.Write("/damon/schemes", content, &error));
+  EXPECT_TRUE(dbgfs_.engine().schemes().empty());
+}
+
+TEST_F(MalformedDbgfsTest, BadAttrsRejectedAndUnchanged) {
+  const std::string before = fs_.Read("/damon/attrs").value();
+  std::string error;
+  // min_nr > max_nr is inconsistent.
+  EXPECT_FALSE(fs_.Write("/damon/attrs", "5000 100000 1000000 500 10", &error));
+  EXPECT_NE(error.find("inconsistent"), std::string::npos);
+  EXPECT_FALSE(fs_.Write("/damon/attrs", "garbage in here now五 ok", &error));
+  EXPECT_EQ(fs_.Read("/damon/attrs").value(), before);
+}
+
+TEST_F(MalformedDbgfsTest, BadTargetsRejectedAndUnchanged) {
+  ASSERT_TRUE(
+      fs_.Write("/damon/target_ids", std::to_string(proc_.pid())));
+  const std::string before = fs_.Read("/damon/target_ids").value();
+  std::string error;
+  EXPECT_FALSE(fs_.Write("/damon/target_ids", "-3", &error));
+  EXPECT_FALSE(fs_.Write("/damon/target_ids", "999999", &error));
+  EXPECT_NE(error.find("no such pid"), std::string::npos);
+  EXPECT_EQ(fs_.Read("/damon/target_ids").value(), before);
+}
+
+TEST_F(MalformedDbgfsTest, MonitorOnGarbageRejected) {
+  std::string error;
+  EXPECT_FALSE(fs_.Write("/damon/monitor_on", "maybe", &error));
+  EXPECT_NE(error.find("expected 'on' or 'off'"), std::string::npos);
+  EXPECT_FALSE(dbgfs_.monitoring());
+}
+
+}  // namespace
+}  // namespace daos

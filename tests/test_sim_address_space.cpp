@@ -19,11 +19,21 @@ class AddressSpaceTest : public ::testing::Test {
 };
 
 TEST_F(AddressSpaceTest, MapCreatesVma) {
-  Vma& vma = space_.Map(0x10000, 64 * kPageSize, "heap");
-  EXPECT_EQ(vma.start(), 0x10000u);
-  EXPECT_EQ(vma.size(), 64 * kPageSize);
-  EXPECT_EQ(vma.page_count(), 64u);
+  Vma* vma = space_.Map(0x10000, 64 * kPageSize, "heap");
+  ASSERT_NE(vma, nullptr);
+  EXPECT_EQ(vma->start(), 0x10000u);
+  EXPECT_EQ(vma->size(), 64 * kPageSize);
+  EXPECT_EQ(vma->page_count(), 64u);
   EXPECT_EQ(space_.mapped_bytes(), 64 * kPageSize);
+}
+
+TEST_F(AddressSpaceTest, MapRejectsInvalidAndOverlapping) {
+  EXPECT_EQ(space_.Map(0x10000, 0, "empty"), nullptr);
+  ASSERT_NE(space_.Map(0x10000, 4 * kPageSize, "a"), nullptr);
+  // Overlapping the existing vma is refused and changes nothing.
+  EXPECT_EQ(space_.Map(0x10000 + kPageSize, 4 * kPageSize, "b"), nullptr);
+  EXPECT_EQ(space_.mapped_bytes(), 4 * kPageSize);
+  EXPECT_EQ(space_.vmas().size(), 1u);
 }
 
 TEST_F(AddressSpaceTest, MapBumpsLayoutGeneration) {
@@ -189,17 +199,19 @@ TEST_F(AddressSpaceTest, PageOutWithoutSwapFreesNothingTouched) {
 
 TEST_F(AddressSpaceTest, VmaBlockSpanClamped) {
   // A VMA smaller than one huge block still has a valid (partial) block.
-  Vma& vma = space_.Map(0x10000, 16 * kPageSize, "small");
-  ASSERT_GE(vma.block_count(), 1u);
-  const auto [lo, hi] = vma.BlockPageSpan(0);
+  Vma* vma = space_.Map(0x10000, 16 * kPageSize, "small");
+  ASSERT_NE(vma, nullptr);
+  ASSERT_GE(vma->block_count(), 1u);
+  const auto [lo, hi] = vma->BlockPageSpan(0);
   EXPECT_EQ(hi - lo, 16u);
-  EXPECT_FALSE(vma.BlockIsFull(0));
+  EXPECT_FALSE(vma->BlockIsFull(0));
 }
 
 TEST_F(AddressSpaceTest, FullBlockDetected) {
-  Vma& vma = space_.Map(2 * kHugePageSize, 2 * kHugePageSize, "aligned");
-  EXPECT_TRUE(vma.BlockIsFull(0));
-  EXPECT_TRUE(vma.BlockIsFull(1));
+  Vma* vma = space_.Map(2 * kHugePageSize, 2 * kHugePageSize, "aligned");
+  ASSERT_NE(vma, nullptr);
+  EXPECT_TRUE(vma->BlockIsFull(0));
+  EXPECT_TRUE(vma->BlockIsFull(1));
 }
 
 TEST_F(AddressSpaceTest, DirtyBitOnWrite) {
