@@ -82,7 +82,13 @@ int main() {
   bool ok = true;
   Cat(fs, "/damon/attrs");
   ok &= Echo(fs, std::to_string(proc.pid()), "/damon/target_ids");
-  ok &= Echo(fs, "min max min min 2s max pageout", "/damon/schemes");
+  // A governed scheme: reclaim is capped at 32M per second of sim time and
+  // the budget is spent on the coldest/largest candidates first. The extra
+  // clauses round-trip through the same debugfs read below.
+  ok &= Echo(fs,
+             "min max min min 2s max pageout "
+             "quota_sz=32M quota_reset_ms=1000 prio_weights=3,7,1",
+             "/damon/schemes");
   ok &= Echo(fs, "on", "/damon/monitor_on");
 
   std::printf("\npolling /proc/%d/status while the workload runs:\n",

@@ -25,6 +25,27 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
   result.tuned = base;
   score_->Reset();
 
+  // Knob abstraction: the search below is identical for both dimensions;
+  // only the range, the scheme field written, and the fit's x-axis unit
+  // (seconds vs MiB — both O(1..100) for typical ranges, keeping the
+  // polynomial fit well conditioned) differ.
+  const bool quota_knob = config_.knob == TuneKnob::kQuotaSz;
+  const std::uint64_t knob_lo =
+      quota_knob ? std::max<std::uint64_t>(config_.quota_sz_lo, kPageSize)
+                 : config_.min_age_lo;
+  const std::uint64_t knob_hi =
+      quota_knob ? config_.quota_sz_hi : config_.min_age_hi;
+  const double knob_unit =
+      quota_knob ? static_cast<double>(MiB) : static_cast<double>(kUsPerSec);
+  const std::uint64_t radius_floor = quota_knob ? MiB : kUsPerSec;
+  const auto set_knob = [quota_knob](damos::Scheme& s, std::uint64_t v) {
+    if (quota_knob) {
+      s.policy().quota.sz_bytes = v;
+    } else {
+      s.bounds().min_age = v;
+    }
+  };
+
   // Baseline: the workload without any scheme.
   result.baseline = runner(nullptr);
   result.retried_trials += result.baseline.retries;
@@ -37,9 +58,9 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
                                               static_cast<double>(total))));
   const std::size_t exploit = total - explore;
 
-  auto run_one = [&](SimTimeUs min_age, bool exploration) {
+  auto run_one = [&](std::uint64_t knob_value, bool exploration) {
     damos::Scheme candidate = base;
-    candidate.bounds().min_age = min_age;
+    set_knob(candidate, knob_value);
     const TrialMeasurement m = runner(&candidate);
     result.retried_trials += m.retries;
     if (m.failed) {
@@ -48,24 +69,26 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
       // function — a watchdog-killed run must not poison the SLA state —
       // and out of the fit/best-sample selection below.
       ++result.failed_trials;
-      result.samples.push_back(TunerSample{min_age, 0.0, exploration, true});
+      result.samples.push_back(
+          TunerSample{knob_value, 0.0, exploration, true});
       if (registry_ != nullptr)
         registry_->GetCounter(prefix_ + ".steps").Add(1);
       return;
     }
     const double score = score_->Score(m, result.baseline);
-    result.samples.push_back(TunerSample{min_age, score, exploration});
+    result.samples.push_back(TunerSample{knob_value, score, exploration});
     if (registry_ != nullptr) {
       registry_->GetCounter(prefix_ + ".steps").Add(1);
       registry_->GetGauge(prefix_ + ".last_score").Set(score);
       registry_->GetGauge(prefix_ + ".last_min_age_us")
-          .Set(static_cast<double>(min_age));
+          .Set(static_cast<double>(knob_value));
     }
     if (trace_ != nullptr) {
       // kTuneStep: id=1 for exploration / 0 for local search,
-      // arg0=min_age_us, arg1=score in micro-units (two's complement).
+      // arg0=knob value (min_age µs or quota bytes), arg1=score in
+      // micro-units (two's complement).
       trace_->Push({0, telemetry::EventKind::kTuneStep,
-                    exploration ? 1u : 0u, min_age,
+                    exploration ? 1u : 0u, knob_value,
                     static_cast<std::uint64_t>(
                         static_cast<std::int64_t>(score * 1e6)),
                     0});
@@ -74,7 +97,7 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
 
   // Phase 1: global random exploration of the aggressiveness space.
   for (std::size_t i = 0; i < explore; ++i) {
-    run_one(rng_.NextInRange(config_.min_age_lo, config_.min_age_hi), true);
+    run_one(rng_.NextInRange(knob_lo, knob_hi), true);
   }
 
   // Orders samples by score with failed trials below any real score, so
@@ -89,15 +112,13 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
   // the middle of the knob range instead.
   auto best = std::max_element(result.samples.begin(), result.samples.end(),
                                by_score);
-  const SimTimeUs center =
-      !best->failed ? best->min_age
-                    : (config_.min_age_lo + config_.min_age_hi) / 2;
-  const SimTimeUs radius =
-      std::max<SimTimeUs>((config_.min_age_hi - config_.min_age_lo) / 10,
-                          kUsPerSec);
+  const std::uint64_t center =
+      !best->failed ? best->min_age : (knob_lo + knob_hi) / 2;
+  const std::uint64_t radius =
+      std::max<std::uint64_t>((knob_hi - knob_lo) / 10, radius_floor);
   for (std::size_t i = 0; i < exploit; ++i) {
-    const SimTimeUs lo = center > radius ? center - radius : config_.min_age_lo;
-    const SimTimeUs hi = std::min(center + radius, config_.min_age_hi);
+    const std::uint64_t lo = center > radius ? center - radius : knob_lo;
+    const std::uint64_t hi = std::min(center + radius, knob_hi);
     run_one(rng_.NextInRange(lo, hi), false);
   }
 
@@ -108,7 +129,7 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
   ys.reserve(result.samples.size());
   for (const TunerSample& s : result.samples) {
     if (s.failed) continue;
-    xs.push_back(static_cast<double>(s.min_age) / kUsPerSec);
+    xs.push_back(static_cast<double>(s.min_age) / knob_unit);
     ys.push_back(s.score);
   }
   const std::size_t degree = std::max<std::size_t>(1, total / 3);
@@ -122,9 +143,9 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     // Every trial failed: nothing to tune against. Emit the base scheme
     // with a mid-range knob and a zero prediction; the caller reads
     // failed_trials to see why.
-    result.best_min_age = (config_.min_age_lo + config_.min_age_hi) / 2;
+    result.best_min_age = (knob_lo + knob_hi) / 2;
     result.predicted_score = 0.0;
-    result.tuned.bounds().min_age = result.best_min_age;
+    set_knob(result.tuned, result.best_min_age);
     return result;
   }
 
@@ -140,13 +161,12 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     // as the best seen score. Keep the curve's job what §3.5 intends —
     // denoising *around the best observed region* — by accepting only
     // peaks within the local-search neighbourhood of the best sample.
-    const double best_x = static_cast<double>(best->min_age) / kUsPerSec;
+    const double best_x = static_cast<double>(best->min_age) / knob_unit;
     const double neighbourhood =
-        static_cast<double>(config_.min_age_hi - config_.min_age_lo) /
-        kUsPerSec / 4.0;
+        static_cast<double>(knob_hi - knob_lo) / knob_unit / 4.0;
     for (const Peak& peak : peaks) {
       if (std::fabs(peak.x - best_x) > neighbourhood) continue;
-      result.best_min_age = static_cast<SimTimeUs>(peak.x * kUsPerSec);
+      result.best_min_age = static_cast<SimTimeUs>(peak.x * knob_unit);
       result.predicted_score = peak.value;
       picked_from_curve = true;
       break;
@@ -157,7 +177,7 @@ TunerResult AutoTuner::Tune(const damos::Scheme& base,
     result.best_min_age = best->min_age;
     result.predicted_score = best->score;
   }
-  result.tuned.bounds().min_age = result.best_min_age;
+  set_knob(result.tuned, result.best_min_age);
   if (registry_ != nullptr) {
     registry_->GetGauge(prefix_ + ".best_min_age_us")
         .Set(static_cast<double>(result.best_min_age));

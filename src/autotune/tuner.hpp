@@ -11,7 +11,9 @@
 //      the scheme tuned to that aggressiveness.
 //
 // Aggressiveness here is the scheme's `min_age` threshold (as in the
-// paper's evaluation: smaller min_age == more aggressive PAGEOUT).
+// paper's evaluation: smaller min_age == more aggressive PAGEOUT), or —
+// with TunerConfig::knob = kQuotaSz — the governor's per-window byte
+// budget, so the same search machinery tunes how much a scheme may do.
 #pragma once
 
 #include <functional>
@@ -25,6 +27,7 @@
 #include "telemetry/trace_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace daos::autotune {
 
@@ -34,6 +37,12 @@ namespace daos::autotune {
 using TrialRunner =
     std::function<TrialMeasurement(const damos::Scheme* scheme_or_null)>;
 
+/// Which scheme dimension the tuner searches. The classic knob is the
+/// paper's min_age aggressiveness; kQuotaSz instead tunes the governor's
+/// per-window byte budget (how *much* an aggressive scheme may do, rather
+/// than how aggressively it matches).
+enum class TuneKnob : std::uint8_t { kMinAge, kQuotaSz };
+
 struct TunerConfig {
   /// Total tuning budget and per-trial time; nr_samples is their ratio.
   SimTimeUs time_limit = 0;
@@ -41,9 +50,15 @@ struct TunerConfig {
   /// Explicit sample budget; used when nonzero (the paper's evaluation
   /// fixes it to 10).
   std::size_t nr_samples = 10;
-  /// Search space for the min_age aggressiveness knob.
+  /// The tuned dimension.
+  TuneKnob knob = TuneKnob::kMinAge;
+  /// Search space for the min_age aggressiveness knob (knob == kMinAge).
   SimTimeUs min_age_lo = 0;
   SimTimeUs min_age_hi = 60 * kUsPerSec;
+  /// Search space for the quota_sz knob (knob == kQuotaSz), in bytes. The
+  /// floor must stay nonzero: quota_sz=0 would disarm the quota entirely.
+  std::uint64_t quota_sz_lo = 1 * MiB;
+  std::uint64_t quota_sz_hi = 256 * MiB;
   /// Fraction of samples spent exploring globally (paper: 60/40).
   double explore_frac = 0.6;
   std::uint64_t seed = 1234;
@@ -56,6 +71,9 @@ struct TunerConfig {
 };
 
 struct TunerSample {
+  /// The sampled knob value: min_age in µs (kMinAge) or quota bytes
+  /// (kQuotaSz). The field keeps its historical name — every consumer of
+  /// the classic knob reads it as min_age.
   SimTimeUs min_age = 0;
   double score = 0.0;
   bool exploration = false;  // true for the global-60% phase
@@ -65,8 +83,8 @@ struct TunerSample {
 };
 
 struct TunerResult {
-  damos::Scheme tuned;             // base scheme with the winning min_age
-  SimTimeUs best_min_age = 0;
+  damos::Scheme tuned;             // base scheme with the winning knob value
+  SimTimeUs best_min_age = 0;      // winning knob value (see TunerSample)
   double predicted_score = 0.0;
   std::vector<TunerSample> samples;
   Polynomial estimate;             // the fitted curve (Figure 5's line)
@@ -82,7 +100,8 @@ class AutoTuner {
  public:
   AutoTuner(TunerConfig config, std::unique_ptr<ScoreFunction> score = nullptr);
 
-  /// Tunes `base` (its min_age is the knob) against `runner`.
+  /// Tunes `base` against `runner`, searching the dimension selected by
+  /// `config.knob` (min_age by default, governor quota_sz optionally).
   TunerResult Tune(const damos::Scheme& base, const TrialRunner& runner);
 
   /// Publishes per-step tuning progress: "<prefix>.steps" counter,

@@ -35,6 +35,7 @@ bool SchemesEngine::InstallFromText(std::string_view text,
   }
   schemes_ = std::move(parsed.schemes);
   runtime_.clear();  // fresh schemes start un-parked
+  governor_.Reset(schemes_.size());  // fresh budgets, gates re-armed
   return true;
 }
 
@@ -59,6 +60,9 @@ void SchemesEngine::RebindInstruments() {
         &registry_->GetCounter(base + "sz_applied"),
         &registry_->GetCounter(base + "errors"),
         &registry_->GetCounter(base + "backoffs"),
+        &registry_->GetCounter(base + "qt_exceeds"),
+        &registry_->GetCounter(base + "sz_quota_exceeded"),
+        &registry_->GetCounter(base + "wmark_deactivations"),
     });
   }
 }
@@ -67,6 +71,7 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
   if (registry_ != nullptr && instruments_.size() != schemes_.size())
     RebindInstruments();  // schemes were reinstalled since the last pass
   runtime_.resize(schemes_.size());
+  governor_.EnsureSlots(schemes_.size());
   const damon::MonitoringAttrs& attrs = ctx.attrs();
 
   // Per-pass aggregates, so the backoff decision sees the whole pass (a
@@ -77,11 +82,59 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
     std::uint64_t tried = 0;
     std::uint64_t applied_bytes = 0;
     std::uint64_t errors = 0;
+    std::uint64_t quota_blocked = 0;
+    std::uint64_t quota_blocked_bytes = 0;
   };
   std::vector<PassAgg> pass(schemes_.size());
   for (std::size_t si = 0; si < schemes_.size(); ++si) {
     if (runtime_[si].backoff_until != 0 && now < runtime_[si].backoff_until)
       schemes_[si].stats().nr_skipped += 1;
+  }
+
+  // Governor plan phase: watermark gate + quota window roll per scheme.
+  // A disarmed policy returns the default plan through a single branch,
+  // leaving the region loop below bit-identical to the ungoverned engine.
+  std::vector<governor::PassPlan> plans(schemes_.size());
+  for (std::size_t si = 0; si < schemes_.size(); ++si) {
+    Scheme& scheme = schemes_[si];
+    plans[si] =
+        governor_.PlanPass(si, scheme.policy(), scheme.action(), now);
+    if (scheme.policy().wmarks.armed()) {
+      scheme.stats().wmark_active = plans[si].wmark_active;
+      if (plans[si].wmark_transition) {
+        if (!plans[si].wmark_active) {
+          scheme.stats().nr_wmark_deactivations += 1;
+          if (!instruments_.empty())
+            instruments_[si].wmark_deactivations->Add(1);
+        }
+        if (trace_ != nullptr) {
+          // kWatermark: id=scheme slot, arg0=sampled metric (permille),
+          // arg1=new activation state (1 = active).
+          trace_->Push({now, telemetry::EventKind::kWatermark,
+                        static_cast<std::uint32_t>(si),
+                        plans[si].wmark_metric,
+                        plans[si].wmark_active ? 1u : 0u, 0});
+        }
+      }
+    }
+  }
+
+  // Prioritization pre-walk: schemes whose budget needs a min-score cutoff
+  // see their matching set once before any application, so the cutoff is
+  // computed from the same regions the apply loop will visit.
+  for (std::size_t si = 0; si < schemes_.size(); ++si) {
+    if (!plans[si].wants_facts) continue;
+    if (runtime_[si].backoff_until != 0 && now < runtime_[si].backoff_until)
+      continue;  // parked: the apply loop will not visit it either
+    std::vector<governor::RegionFacts> facts;
+    for (damon::DamonTarget& target : ctx.targets()) {
+      for (damon::Region& region : target.regions) {
+        if (!schemes_[si].Matches(region, attrs)) continue;
+        facts.push_back(governor::RegionFacts{region.size(),
+                                              region.nr_accesses, region.age});
+      }
+    }
+    governor_.FinishPlan(&plans[si], facts, si);
   }
 
   for (damon::DamonTarget& target : ctx.targets()) {
@@ -92,12 +145,41 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
             now < runtime_[si].backoff_until) {
           continue;  // parked by the failure backoff
         }
+        const governor::PassPlan& plan = plans[si];
+        if (plan.skip) continue;  // watermark-inactive: not even "tried"
         if (!scheme.Matches(region, attrs)) continue;
+        if (plan.prioritized) {
+          const governor::RegionFacts facts{region.size(),
+                                            region.nr_accesses, region.age};
+          if (governor::ScoreRegion(facts, plan.scale, plan.weights,
+                                    plan.cold_first) < plan.min_score) {
+            continue;  // budget reserved for higher-priority regions
+          }
+        }
+        std::uint64_t attempt = region.size();
+        if (plan.governed) {
+          attempt = governor_.ClipToBudget(si, region.size());
+          if (attempt == 0) {
+            scheme.stats().qt_exceeds += 1;
+            scheme.stats().sz_quota_exceeded += region.size();
+            pass[si].quota_blocked += 1;
+            pass[si].quota_blocked_bytes += region.size();
+            if (!instruments_.empty()) {
+              instruments_[si].qt_exceeds->Add(1);
+              instruments_[si].sz_quota_exceeded->Add(region.size());
+            }
+            continue;
+          }
+          // Attempt-based: charged before the action runs, so a failing
+          // device cannot launder extra budget.
+          governor_.Charge(si, scheme.action(), attempt);
+        }
         scheme.stats().nr_tried += 1;
-        scheme.stats().sz_tried += region.size();
+        scheme.stats().sz_tried += attempt;
         std::uint64_t errors = 0;
         const std::uint64_t applied = target.primitives->ApplyAction(
-            scheme.action(), region.start, region.end, now, &errors);
+            scheme.action(), region.start, region.start + attempt, now,
+            &errors);
         pass[si].tried += 1;
         pass[si].applied_bytes += applied;
         pass[si].errors += errors;
@@ -109,7 +191,7 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
         if (!instruments_.empty()) {
           const SchemeInstruments& ti = instruments_[si];
           ti.nr_tried->Add(1);
-          ti.sz_tried->Add(region.size());
+          ti.sz_tried->Add(attempt);
           if (applied > 0) {
             ti.nr_applied->Add(1);
             ti.sz_applied->Add(applied);
@@ -117,12 +199,27 @@ void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
           if (errors > 0) ti.errors->Add(errors);
         }
         if (trace_ != nullptr && applied > 0) {
-          // kSchemeApply: id=scheme slot, arg0..1=region, arg2=bytes applied.
+          // kSchemeApply: id=scheme slot, arg0..1=applied range, arg2=bytes
+          // applied (range end is quota-clipped when governed).
           trace_->Push({now, telemetry::EventKind::kSchemeApply,
                         static_cast<std::uint32_t>(si), region.start,
-                        region.end, applied});
+                        region.start + attempt, applied});
         }
       }
+    }
+  }
+
+  // One kQuotaExceeded tracepoint per scheme per pass that hit the wall,
+  // not one per blocked region — the wall is a pass-level condition.
+  if (trace_ != nullptr) {
+    for (std::size_t si = 0; si < schemes_.size(); ++si) {
+      if (pass[si].quota_blocked == 0) continue;
+      // kQuotaExceeded: id=scheme slot, arg0=regions blocked this pass,
+      // arg1=bytes blocked, arg2=bytes charged in the current window.
+      trace_->Push({now, telemetry::EventKind::kQuotaExceeded,
+                    static_cast<std::uint32_t>(si), pass[si].quota_blocked,
+                    pass[si].quota_blocked_bytes,
+                    governor_.quota_state(si).charged_sz});
     }
   }
 
@@ -160,18 +257,10 @@ SimTimeUs SchemesEngine::BackoffUntil(std::size_t scheme_index) const {
 std::string SchemesEngine::StatsText() const {
   std::string out;
   for (const Scheme& s : schemes_) {
-    char buf[320];
-    std::snprintf(buf, sizeof buf,
-                  "%s: tried %llu regions (%llu bytes), applied %llu "
-                  "regions (%llu bytes), errors %llu, backoffs %llu\n",
-                  s.ToText().c_str(),
-                  static_cast<unsigned long long>(s.stats().nr_tried),
-                  static_cast<unsigned long long>(s.stats().sz_tried),
-                  static_cast<unsigned long long>(s.stats().nr_applied),
-                  static_cast<unsigned long long>(s.stats().sz_applied),
-                  static_cast<unsigned long long>(s.stats().nr_errors),
-                  static_cast<unsigned long long>(s.stats().nr_backoffs));
-    out += buf;
+    out += s.ToText();
+    out += ": ";
+    out += FormatStats(s.stats());
+    out += '\n';
   }
   return out;
 }

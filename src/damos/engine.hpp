@@ -13,6 +13,7 @@
 
 #include "damon/monitor.hpp"
 #include "damos/scheme.hpp"
+#include "governor/governor.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_buffer.hpp"
 
@@ -36,7 +37,19 @@ class SchemesEngine {
   void Install(std::vector<Scheme> schemes) {
     schemes_ = std::move(schemes);
     runtime_.clear();  // fresh schemes start un-parked
+    governor_.Reset(schemes_.size());  // fresh budgets, gates re-armed
   }
+
+  /// Binds the machine whose metrics feed watermark gates and whose cost
+  /// model prices time quotas. Optional: without it, watermarks fail open
+  /// and time quotas use the default CostModel.
+  void SetMachine(const sim::Machine* machine) noexcept {
+    governor_.BindMachine(machine);
+  }
+
+  /// The governor runtime (budget charges, watermark state). Exposed for
+  /// tests and dbgfs introspection.
+  const governor::Governor& governor() const noexcept { return governor_; }
 
   std::vector<Scheme>& schemes() noexcept { return schemes_; }
   const std::vector<Scheme>& schemes() const noexcept { return schemes_; }
@@ -51,11 +64,13 @@ class SchemesEngine {
 
   /// Publishes per-scheme DAMOS-stat counters
   /// ("<prefix>.scheme<i>.{nr_tried,sz_tried,nr_applied,sz_applied,errors,
-  /// backoffs}") through `registry` and, when `trace` is non-null, a
-  /// kSchemeApply tracepoint per applied region plus a kSchemeBackoff
-  /// tracepoint whenever a scheme is parked. Counters survive scheme
-  /// reinstalls (instruments are resolved per slot index, lazily on the
-  /// next Apply).
+  /// backoffs,qt_exceeds,sz_quota_exceeded,wmark_deactivations}") through
+  /// `registry` and, when `trace` is non-null, a kSchemeApply tracepoint
+  /// per applied region, a kSchemeBackoff tracepoint whenever a scheme is
+  /// parked, a kQuotaExceeded tracepoint per pass that hit a quota wall,
+  /// and a kWatermark tracepoint on every gate transition. Counters survive
+  /// scheme reinstalls (instruments are resolved per slot index, lazily on
+  /// the next Apply).
   void BindTelemetry(telemetry::MetricsRegistry& registry,
                      telemetry::TraceBuffer* trace = nullptr,
                      std::string_view prefix = "damos");
@@ -72,6 +87,9 @@ class SchemesEngine {
     telemetry::Counter* sz_applied = nullptr;
     telemetry::Counter* errors = nullptr;
     telemetry::Counter* backoffs = nullptr;
+    telemetry::Counter* qt_exceeds = nullptr;
+    telemetry::Counter* sz_quota_exceeded = nullptr;
+    telemetry::Counter* wmark_deactivations = nullptr;
   };
   /// Failure-backoff state per scheme slot (mirrors upstream DAMOS quotas:
   /// a scheme whose action keeps failing must not burn its whole budget on
@@ -85,6 +103,7 @@ class SchemesEngine {
 
   std::vector<Scheme> schemes_;
   std::vector<SchemeRuntime> runtime_;
+  governor::Governor governor_;
   telemetry::MetricsRegistry* registry_ = nullptr;
   telemetry::TraceBuffer* trace_ = nullptr;
   std::string prefix_;

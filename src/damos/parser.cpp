@@ -2,15 +2,17 @@
 
 #include <optional>
 
+#include "governor/policy.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace daos::damos {
 namespace {
 
-// Defensive cap: a scheme line is seven short tokens; anything past this is
-// garbage input (binary spew, a runaway echo) and is rejected before
-// tokenization rather than ground through the number parsers.
+// Defensive cap: a scheme line is seven short tokens plus a handful of
+// governor clauses; anything past this is garbage input (binary spew, a
+// runaway echo) and is rejected before tokenization rather than ground
+// through the number parsers.
 constexpr std::size_t kMaxLineLength = 512;
 
 std::optional<std::uint64_t> ParseSizeToken(std::string_view tok, bool is_min) {
@@ -74,10 +76,10 @@ ParseResult ParseSchemeLine(std::string_view line) {
     return result;
   }
   const auto tokens = SplitWhitespace(StripComment(line));
-  if (tokens.size() != 7) {
+  if (tokens.size() < 7) {
     result.errors.push_back(
-        {1, "expected 7 fields (min_size max_size min_freq max_freq "
-            "min_age max_age action), got " +
+        {1, "expected at least 7 fields (min_size max_size min_freq "
+            "max_freq min_age max_age action [governor clauses]), got " +
                 std::to_string(tokens.size())});
     return result;
   }
@@ -116,6 +118,22 @@ ParseResult ParseSchemeLine(std::string_view line) {
   if (!ParseAction(tokens[6], &b.action)) {
     result.errors.push_back({1, "unknown action '" + std::string(tokens[6]) + "'"});
   }
+
+  // Optional governor clauses after the action. All-or-nothing like the
+  // base fields: any bad clause rejects the whole line.
+  governor::GovernorPolicy policy;
+  for (std::size_t i = 7; i < tokens.size(); ++i) {
+    std::string clause_error;
+    if (!governor::ParsePolicyClause(tokens[i], &policy, &clause_error)) {
+      result.errors.push_back({1, std::move(clause_error)});
+    }
+  }
+  if (result.errors.empty()) {
+    std::string policy_error;
+    if (!governor::ValidatePolicy(policy, &policy_error)) {
+      result.errors.push_back({1, std::move(policy_error)});
+    }
+  }
   if (b.min_size != kMaxU64 && b.max_size != kMaxU64 &&
       b.min_size > b.max_size) {
     result.errors.push_back({1, "min_size exceeds max_size"});
@@ -130,7 +148,11 @@ ParseResult ParseSchemeLine(std::string_view line) {
     result.errors.push_back({1, "min_freq exceeds max_freq"});
   }
 
-  if (result.errors.empty()) result.schemes.emplace_back(b);
+  if (result.errors.empty()) {
+    Scheme scheme(b);
+    scheme.policy() = policy;
+    result.schemes.push_back(std::move(scheme));
+  }
   return result;
 }
 

@@ -3,12 +3,19 @@
 // Grammar of one scheme line (paper Listings 1 and 3):
 //
 //     <min_size> <max_size> <min_freq> <max_freq> <min_age> <max_age> <action>
+//         [governor clauses...]
 //
 //   * sizes:  "min" | "max" | "4K" | "2MB" | "1GiB" | raw bytes
 //   * freqs:  "min" | "max" | "80%" | raw per-aggregation sample count
 //   * ages:   "min" | "max" | "5s" | "2m" | "100ms" | raw seconds
 //   * action: pageout|page_out, hugepage|thp, nohugepage|nothp,
 //             willneed, cold, stat
+//
+// Everything after the action is an optional `key=value` governor clause
+// (see governor/policy.hpp): quota_sz=, quota_ms=, quota_reset_ms=,
+// prio_weights=<s>,<f>,<a>, wmarks=<metric>,<high>,<mid>,<low>,
+// wmark_interval_ms=. A bare 7-field line parses exactly as before the
+// governor existed.
 //
 // '#' starts a comment; blank lines are skipped. This is the user-space
 // "debugfs write" format of the paper's implementation (§3.6).

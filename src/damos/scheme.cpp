@@ -68,7 +68,26 @@ std::string Scheme::ToText() const {
   out += AgeToken(bounds_.max_age, false);
   out += ' ';
   out += std::string(damon::DamosActionName(bounds_.action));
+  out += policy_.ToText();  // empty when disarmed: old 7-field form
   return out;
+}
+
+std::string FormatStats(const SchemeStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "tried %llu (%llu bytes) applied %llu (%llu bytes) "
+                "errors %llu backoffs %llu qt_exceeds %llu "
+                "sz_quota_exceeded %llu wmarks %s",
+                static_cast<unsigned long long>(stats.nr_tried),
+                static_cast<unsigned long long>(stats.sz_tried),
+                static_cast<unsigned long long>(stats.nr_applied),
+                static_cast<unsigned long long>(stats.sz_applied),
+                static_cast<unsigned long long>(stats.nr_errors),
+                static_cast<unsigned long long>(stats.nr_backoffs),
+                static_cast<unsigned long long>(stats.qt_exceeds),
+                static_cast<unsigned long long>(stats.sz_quota_exceeded),
+                stats.wmark_active ? "active" : "inactive");
+  return buf;
 }
 
 Scheme Scheme::Prcl(SimTimeUs min_age) {

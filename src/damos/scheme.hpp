@@ -12,6 +12,7 @@
 #include "damon/attrs.hpp"
 #include "damon/primitives.hpp"
 #include "damon/region.hpp"
+#include "governor/policy.hpp"
 #include "util/types.hpp"
 
 namespace daos::damos {
@@ -60,7 +61,17 @@ struct SchemeStats {
   std::uint64_t nr_errors = 0;    // recoverable action failures absorbed
   std::uint64_t nr_backoffs = 0;  // times the scheme was exponentially parked
   std::uint64_t nr_skipped = 0;   // aggregation passes skipped while parked
+  // Governor accounting (kernel damos_stat analogues).
+  std::uint64_t qt_exceeds = 0;          // regions blocked by an empty budget
+  std::uint64_t sz_quota_exceeded = 0;   // bytes those blocked regions held
+  std::uint64_t nr_wmark_deactivations = 0;  // active->inactive transitions
+  bool wmark_active = true;              // current watermark gate state
 };
+
+/// The single formatter for SchemeStats — every text surface (engine
+/// StatsText, the dbgfs /schemes read) goes through it, so stat fields
+/// cannot drift between views when new ones (governor counters) are added.
+std::string FormatStats(const SchemeStats& stats);
 
 class Scheme {
  public:
@@ -72,6 +83,11 @@ class Scheme {
   damon::DamosAction action() const noexcept { return bounds_.action; }
   const SchemeStats& stats() const noexcept { return stats_; }
   SchemeStats& stats() noexcept { return stats_; }
+  /// Governor configuration (quotas / prioritization / watermarks).
+  /// Default-constructed = disarmed: the engine behaves exactly as if the
+  /// governor did not exist.
+  const governor::GovernorPolicy& policy() const noexcept { return policy_; }
+  governor::GovernorPolicy& policy() noexcept { return policy_; }
 
   /// Whether `region` currently fulfills the three conditions.
   bool Matches(const damon::Region& region,
@@ -96,6 +112,7 @@ class Scheme {
  private:
   SchemeBounds bounds_;
   SchemeStats stats_;
+  governor::GovernorPolicy policy_;
 };
 
 }  // namespace daos::damos

@@ -16,6 +16,8 @@ DamonDbgfs::DamonDbgfs(sim::System* system, PseudoFs* fs, std::string root)
           damon::MonitoringAttrs::PaperDefaults(), /*seed=*/42,
           system->machine().costs().monitor_interference_us)) {
   engine_.Attach(*ctx_);
+  // Watermark metrics and time-quota pricing come from this machine.
+  engine_.SetMachine(&system_->machine());
 
   fs_->RegisterFile(
       root_ + "/attrs", [this] { return ReadAttrs(); },
@@ -162,17 +164,14 @@ bool DamonDbgfs::WriteTargets(std::string_view content, std::string* error) {
 }
 
 std::string DamonDbgfs::ReadSchemes() const {
-  // Kernel format: each scheme line followed by its stats.
+  // Kernel format: each scheme line followed by its stats, through the
+  // same formatter the engine's StatsText uses.
   std::string out;
   for (const damos::Scheme& s : engine_.schemes()) {
-    char buf[160];
-    std::snprintf(buf, sizeof buf, "%s # tried %llu (%llu bytes) applied %llu (%llu bytes)\n",
-                  s.ToText().c_str(),
-                  static_cast<unsigned long long>(s.stats().nr_tried),
-                  static_cast<unsigned long long>(s.stats().sz_tried),
-                  static_cast<unsigned long long>(s.stats().nr_applied),
-                  static_cast<unsigned long long>(s.stats().sz_applied));
-    out += buf;
+    out += s.ToText();
+    out += " # ";
+    out += damos::FormatStats(s.stats());
+    out += '\n';
   }
   return out;
 }

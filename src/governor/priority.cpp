@@ -1,0 +1,63 @@
+#include "governor/priority.hpp"
+
+namespace daos::governor {
+namespace {
+
+/// Linear subscore in [0, kMaxScore]; a zero maximum means the dimension
+/// carries no signal this pass and scores neutral.
+std::uint32_t Subscore(std::uint64_t value, std::uint64_t max) noexcept {
+  if (max == 0) return 0;
+  if (value >= max) return kMaxScore;
+  return static_cast<std::uint32_t>(value * kMaxScore / max);
+}
+
+}  // namespace
+
+bool ColdFirst(damon::DamosAction action) noexcept {
+  switch (action) {
+    case damon::DamosAction::kPageout:
+    case damon::DamosAction::kCold:
+    case damon::DamosAction::kNohugepage:
+      return true;
+    case damon::DamosAction::kWillneed:
+    case damon::DamosAction::kHugepage:
+    case damon::DamosAction::kStat:
+      return false;
+  }
+  return false;
+}
+
+std::uint32_t ScoreRegion(const RegionFacts& facts, const ScoreScale& scale,
+                          const PrioWeights& weights,
+                          bool cold_first) noexcept {
+  const std::uint32_t total = weights.total();
+  if (total == 0) return kMaxScore;  // disarmed: everything top priority
+
+  const std::uint32_t sz_sub = Subscore(facts.sz, scale.max_sz);
+  std::uint32_t freq_sub = Subscore(facts.nr_accesses, scale.max_nr_accesses);
+  if (cold_first) freq_sub = kMaxScore - freq_sub;
+  const std::uint32_t age_sub = Subscore(facts.age, scale.max_age);
+
+  const std::uint64_t weighted =
+      static_cast<std::uint64_t>(sz_sub) * weights.sz +
+      static_cast<std::uint64_t>(freq_sub) * weights.freq +
+      static_cast<std::uint64_t>(age_sub) * weights.age;
+  return static_cast<std::uint32_t>(weighted / total);
+}
+
+std::uint32_t PriorityHistogram::MinScoreFor(
+    std::uint64_t budget_bytes) const noexcept {
+  std::uint64_t cumulated = 0;
+  for (std::uint32_t score = kMaxScore;; --score) {
+    cumulated += sz_by_score_[score];
+    if (cumulated >= budget_bytes || score == 0) return score;
+  }
+}
+
+std::uint64_t PriorityHistogram::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t sz : sz_by_score_) total += sz;
+  return total;
+}
+
+}  // namespace daos::governor

@@ -1,0 +1,86 @@
+// Under-quota prioritization: weighted region scoring and the adaptive
+// min-score cutoff (the kernel's damos_quota histogram).
+//
+// When a scheme's per-window budget cannot cover every matching region,
+// spending it in address order wastes it on whatever happens to sit at low
+// addresses. Instead, each matching region is scored into [0, kMaxScore]
+// from a weighted mix of its size, access frequency, and age; a histogram
+// of total bytes per score then yields the smallest `min_score` whose
+// top-down cumulative size still fits the budget. Only regions at or above
+// the cutoff are applied, so the budget goes to the highest-priority
+// regions first — and the cutoff re-adapts every window, so the quota is
+// neither starved (cutoff too high, budget unspent) nor blown (cutoff too
+// low, address order decides again).
+//
+// Score direction follows the action: promote-style actions (hugepage,
+// willneed) want the hottest regions first; reclaim-style actions (pageout,
+// cold, nohugepage) want the coldest, so their frequency subscore is
+// inverted and age keeps rewarding stability in both directions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "damon/primitives.hpp"
+#include "governor/policy.hpp"
+
+namespace daos::governor {
+
+/// Scores are kernel-style integer percent: 0 = lowest priority, 99 =
+/// highest (DAMOS_MAX_SCORE).
+inline constexpr std::uint32_t kMaxScore = 99;
+
+/// The three facts a region contributes to its priority score.
+struct RegionFacts {
+  std::uint64_t sz = 0;
+  std::uint32_t nr_accesses = 0;
+  std::uint32_t age = 0;
+};
+
+/// Per-pass normalization maxima. Subscores are relative to the matching
+/// set of the same pass — deterministic and self-scaling, where absolute
+/// caps would need retuning per workload.
+struct ScoreScale {
+  std::uint64_t max_sz = 0;
+  std::uint32_t max_nr_accesses = 0;
+  std::uint32_t max_age = 0;
+
+  void Fold(const RegionFacts& facts) noexcept {
+    if (facts.sz > max_sz) max_sz = facts.sz;
+    if (facts.nr_accesses > max_nr_accesses)
+      max_nr_accesses = facts.nr_accesses;
+    if (facts.age > max_age) max_age = facts.age;
+  }
+};
+
+/// True for actions that should spend budget on the *coldest* regions
+/// first (reclaim-shaped); false for promote-shaped actions that want the
+/// hottest.
+bool ColdFirst(damon::DamosAction action) noexcept;
+
+/// Weighted priority in [0, kMaxScore]. `cold_first` inverts the frequency
+/// subscore.
+std::uint32_t ScoreRegion(const RegionFacts& facts, const ScoreScale& scale,
+                          const PrioWeights& weights,
+                          bool cold_first) noexcept;
+
+/// Bytes-per-score histogram of one pass's matching regions.
+class PriorityHistogram {
+ public:
+  void Clear() noexcept { sz_by_score_.fill(0); }
+  void Add(std::uint32_t score, std::uint64_t sz) noexcept {
+    sz_by_score_[score > kMaxScore ? kMaxScore : score] += sz;
+  }
+
+  /// The adaptive cutoff: walking scores top-down, the score at which the
+  /// cumulative size first reaches `budget_bytes` (0 when the whole set
+  /// fits — everything is eligible).
+  std::uint32_t MinScoreFor(std::uint64_t budget_bytes) const noexcept;
+
+  std::uint64_t total_bytes() const noexcept;
+
+ private:
+  std::array<std::uint64_t, kMaxScore + 1> sz_by_score_{};
+};
+
+}  // namespace daos::governor

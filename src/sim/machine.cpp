@@ -54,6 +54,14 @@ bool Machine::UnderPressure() const noexcept {
          kHighWatermark * static_cast<double>(spec_.dram_bytes);
 }
 
+std::uint32_t Machine::FreeMemRatePermille() const noexcept {
+  const std::uint64_t capacity = spec_.dram_bytes;
+  if (capacity == 0) return 0;
+  const std::uint64_t used = dram_used_bytes();
+  if (used >= capacity) return 0;
+  return static_cast<std::uint32_t>((capacity - used) * 1000 / capacity);
+}
+
 void Machine::RegisterSpace(AddressSpace* space) { spaces_.push_back(space); }
 
 void Machine::UnregisterSpace(AddressSpace* space) {

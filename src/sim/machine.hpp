@@ -55,6 +55,17 @@ struct CostModel {
   // bit on an active mm costs a TLB shootdown (~1 µs). Scaled by the
   // workload's memory-boundness when charged.
   double monitor_interference_us = 1.0;
+
+  // Modelled DAMOS action costs, charged against schemes' time quotas
+  // (quota_ms=). Page-granular actions cost per 4 KiB page; THP actions
+  // per 2 MiB block. Rough Linux magnitudes: pageout pays add_to_swap +
+  // writeback submission, willneed a swap-readahead setup, cold an LRU
+  // list move, collapse a 2 MiB copy, split a page-table rewrite.
+  double damos_pageout_us_per_page = 3.0;
+  double damos_willneed_us_per_page = 2.0;
+  double damos_cold_us_per_page = 0.12;
+  double damos_hugepage_us_per_block = 60.0;
+  double damos_nohugepage_us_per_block = 25.0;
 };
 
 struct MachineCounters {
@@ -109,6 +120,10 @@ class Machine {
   }
   std::uint64_t dram_capacity() const noexcept { return spec_.dram_bytes; }
   bool UnderPressure() const noexcept;
+  /// Free DRAM as permille of capacity (0 = exhausted, 1000 = idle) — the
+  /// "free_mem_rate" watermark metric of the DAMOS governor, mirroring the
+  /// kernel's freerun counters feeding damos_wmark_metric_value().
+  std::uint32_t FreeMemRatePermille() const noexcept;
 
   // --- address space registry (the rmap analogue) -----------------------------
   void RegisterSpace(AddressSpace* space);

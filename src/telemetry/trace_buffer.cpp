@@ -32,6 +32,10 @@ std::string_view EventKindName(EventKind kind) {
       return "oom_kill";
     case EventKind::kSchemeBackoff:
       return "scheme_backoff";
+    case EventKind::kQuotaExceeded:
+      return "quota_exceeded";
+    case EventKind::kWatermark:
+      return "watermark";
   }
   return "?";
 }

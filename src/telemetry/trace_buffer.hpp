@@ -32,6 +32,8 @@ enum class EventKind : std::uint8_t {
   kSwapError,    // swap-out write failures (injected or device)
   kOomKill,      // a process was OOM-killed to relieve pressure
   kSchemeBackoff,  // a DAMOS scheme was backed off after repeated failures
+  kQuotaExceeded,  // a scheme's apply budget blocked regions this pass
+  kWatermark,      // a watermark gate flipped a scheme's activation
 };
 
 std::string_view EventKindName(EventKind kind);

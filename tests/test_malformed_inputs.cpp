@@ -101,6 +101,83 @@ TEST(MalformedParserTest, ErrorsCarryExactLineNumbers) {
   EXPECT_EQ(r.schemes.size(), 1u);
 }
 
+// --- governor clauses -----------------------------------------------------
+
+TEST(MalformedGovernorTest, NegativeQuotaSizeRejected) {
+  const ParseResult r =
+      ParseSchemes("min max min min 2s max pageout quota_sz=-5M\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line_number, 1);
+  EXPECT_NE(r.errors[0].message.find("bad quota_sz"), std::string::npos);
+}
+
+TEST(MalformedGovernorTest, NegativeQuotaMsRejected) {
+  const ParseResult r =
+      ParseSchemes("min max min min 2s max pageout quota_ms=-1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("bad quota_ms"), std::string::npos);
+}
+
+TEST(MalformedGovernorTest, ZeroQuotaRejected) {
+  // quota_sz=0 would silently disarm the budget the user asked for.
+  EXPECT_FALSE(
+      ParseSchemes("min max min min 2s max pageout quota_sz=0\n").ok());
+  EXPECT_FALSE(
+      ParseSchemes("min max min min 2s max pageout quota_reset_ms=0\n").ok());
+}
+
+TEST(MalformedGovernorTest, AllZeroPrioWeightsRejected) {
+  const ParseResult r =
+      ParseSchemes("min max min min 2s max pageout prio_weights=0,0,0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("prio_weights must not be all zero"),
+            std::string::npos);
+}
+
+TEST(MalformedGovernorTest, OversizedPrioWeightRejected) {
+  const ParseResult r =
+      ParseSchemes("min max min min 2s max pageout prio_weights=1,5000,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("bad prio_weights component"),
+            std::string::npos);
+}
+
+TEST(MalformedGovernorTest, WatermarkOrderingRejected) {
+  // low > high: the gate would deactivate everywhere.
+  const ParseResult r = ParseSchemes(
+      "min max min min 2s max pageout wmarks=free_mem_rate,100,500,900\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("high >= mid >= low"),
+            std::string::npos);
+}
+
+TEST(MalformedGovernorTest, UnknownWatermarkMetricRejected) {
+  const ParseResult r = ParseSchemes(
+      "min max min min 2s max pageout wmarks=cpu_temp,900,500,100\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("unknown watermark metric"),
+            std::string::npos);
+}
+
+TEST(MalformedGovernorTest, UnknownClauseRejected) {
+  const ParseResult r =
+      ParseSchemes("min max min min 2s max pageout turbo=1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("unknown governor clause 'turbo'"),
+            std::string::npos);
+}
+
+TEST(MalformedGovernorTest, GovernorErrorsCarryExactLineNumbers) {
+  const ParseResult r = ParseSchemes(
+      "min max min min 2s max pageout quota_sz=16M\n"
+      "min max min min 2s max pageout quota_sz=oops\n"
+      "min max min min 2s max pageout wmarks=free_mem_rate,1,2,3\n");
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_EQ(r.errors[0].line_number, 2);
+  EXPECT_EQ(r.errors[1].line_number, 3);
+  EXPECT_EQ(r.schemes.size(), 1u);
+}
+
 // --- debugfs --------------------------------------------------------------
 
 workload::WorkloadProfile TinyProfile() {
@@ -142,6 +219,21 @@ TEST_F(MalformedDbgfsTest, RejectedSchemesWriteKeepsPreviousSchemes) {
   EXPECT_NE(error.find("line 2"), std::string::npos);
   // All-or-nothing: neither the bad line nor the valid line 1 replaced the
   // installed scheme.
+  ASSERT_EQ(dbgfs_.engine().schemes().size(), 1u);
+  EXPECT_EQ(dbgfs_.engine().schemes()[0].ToText(), before);
+}
+
+TEST_F(MalformedDbgfsTest, RejectedGovernorClauseKeepsPreviousSchemes) {
+  ASSERT_TRUE(fs_.Write("/damon/schemes",
+                        "min max min min 2s max pageout quota_sz=8M\n"));
+  const std::string before = dbgfs_.engine().schemes()[0].ToText();
+
+  std::string error;
+  EXPECT_FALSE(fs_.Write("/damon/schemes",
+                         "min max min min 2s max pageout quota_sz=-1\n",
+                         &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("bad quota_sz"), std::string::npos);
   ASSERT_EQ(dbgfs_.engine().schemes().size(), 1u);
   EXPECT_EQ(dbgfs_.engine().schemes()[0].ToText(), before);
 }
