@@ -1,0 +1,160 @@
+// Lifecycle micro-bench: what do the supervisor's robustness pillars cost?
+//
+// One supervised kdamond over a 256M heap runs 10 simulated seconds, then
+// each control-plane operation is timed host-side in isolation:
+//
+//   capture   serialize the full monitoring state to checkpoint text
+//   parse     checkpoint text -> validated Checkpoint model
+//   restore   tear the stack down and rebuild it from the text
+//   stage     validate + stage a commit bundle (the /commit write path)
+//
+// Capture and restore bound how often a deployment can afford periodic
+// checkpoints; stage is the latency a reconfiguration writer sees.
+//
+// Results append a machine-readable entry to BENCH_lifecycle.json in the
+// working directory (one entry per run).
+//
+// Build & run:  ./build/bench/micro_lifecycle
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/common.hpp"
+#include "damon/primitives.hpp"
+#include "lifecycle/checkpoint.hpp"
+#include "lifecycle/supervisor.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace daos;
+
+constexpr std::uint64_t kHeap = 256 * MiB;
+constexpr Addr kHeapStart = 0x10000000;
+
+struct Result {
+  std::size_t checkpoint_bytes = 0;
+  std::size_t regions = 0;
+  std::size_t snapshots = 0;
+  double capture_wall_us = 0.0;
+  double parse_wall_us = 0.0;
+  double restore_wall_us = 0.0;
+  double stage_wall_us = 0.0;
+};
+
+template <typename Fn>
+double TimeAvgUs(int iterations, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+         iterations;
+}
+
+Result Run() {
+  sim::System system(sim::MachineSpec{"bench", 4, 3.0, 4 * GiB},
+                     sim::SwapConfig::Zram());
+  sim::AddressSpace space(1, &system.machine(), 3.0);
+  space.Map(kHeapStart, kHeap, "heap");
+  space.TouchRange(kHeapStart, kHeapStart + kHeap, true, 0);
+
+  lifecycle::KdamondSupervisor supervisor;
+  sim::AddressSpace* heap = &space;
+  supervisor.SetTargetFactory([heap](damon::DamonContext& ctx) {
+    ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(heap));
+  });
+  supervisor.AttachTo(system);
+  std::string error;
+  supervisor.InstallSchemesFromText(
+      "min max min min 2s max pageout quota_sz=32M quota_reset_ms=1000 "
+      "prio_weights=3,7,1",
+      &error);
+  system.Run(10 * kUsPerSec);
+
+  Result r;
+  const std::string text = supervisor.CaptureCheckpointText();
+  r.checkpoint_bytes = text.size();
+  const lifecycle::Checkpoint cp = *lifecycle::ParseCheckpoint(text);
+  for (const lifecycle::CheckpointTarget& t : cp.targets)
+    r.regions += t.regions.size();
+  r.snapshots = cp.recorder_tail.size();
+
+  r.capture_wall_us =
+      TimeAvgUs(50, [&] { (void)supervisor.CaptureCheckpointText(); });
+  r.parse_wall_us =
+      TimeAvgUs(50, [&] { (void)lifecycle::ParseCheckpoint(text); });
+  r.restore_wall_us = TimeAvgUs(20, [&] {
+    std::string e;
+    supervisor.RestoreFromText(text, &e);
+  });
+  r.stage_wall_us = TimeAvgUs(50, [&] {
+    std::string e;
+    supervisor.CommitFromText(
+        "attrs 5000 100000 1000000 10 1000\n"
+        "scheme min max min min 2s max pageout quota_sz=16M "
+        "quota_reset_ms=1000 prio_weights=3,7,1\n",
+        &e);
+  });
+  return r;
+}
+
+void AppendJson(const Result& r) {
+  // The trajectory file is a JSON array; append by rewriting the closing
+  // bracket. A missing/empty file starts a fresh array.
+  const char* path = "BENCH_lifecycle.json";
+  std::string existing;
+  if (std::FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      existing.append(buf, n);
+    std::fclose(f);
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' '))
+    existing.pop_back();
+  std::string out;
+  if (existing.size() > 1 && existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' '))
+      existing.pop_back();
+    out = existing + ",\n";
+  } else {
+    out = "[\n";
+  }
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "  {\"bench\": \"micro_lifecycle\", \"heap_bytes\": %llu, "
+      "\"checkpoint_bytes\": %zu, \"regions\": %zu, \"snapshots\": %zu, "
+      "\"capture_wall_us\": %.2f, \"parse_wall_us\": %.2f, "
+      "\"restore_wall_us\": %.2f, \"stage_wall_us\": %.2f}\n]\n",
+      static_cast<unsigned long long>(kHeap), r.checkpoint_bytes, r.regions,
+      r.snapshots, r.capture_wall_us, r.parse_wall_us, r.restore_wall_us,
+      r.stage_wall_us);
+  out += buf;
+  if (std::FILE* f = std::fopen(path, "wb")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\ntrajectory entry appended to %s\n", path);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("micro_lifecycle",
+                     "checkpoint capture/parse/restore and commit-stage cost");
+  const Result r = Run();
+  std::printf("checkpoint      %zu bytes (%zu regions, %zu snapshots)\n",
+              r.checkpoint_bytes, r.regions, r.snapshots);
+  std::printf("capture         %10.2f µs\n", r.capture_wall_us);
+  std::printf("parse           %10.2f µs\n", r.parse_wall_us);
+  std::printf("restore         %10.2f µs\n", r.restore_wall_us);
+  std::printf("stage commit    %10.2f µs\n", r.stage_wall_us);
+  AppendJson(r);
+  return 0;
+}

@@ -10,14 +10,28 @@
 //   6. read the scheme stats back and save a monitoring record file
 //
 // Build & run:  ./build/examples/daos_ctl
+//
+// Lifecycle verbs (src/lifecycle, driven through /lifecycle/* files):
+//
+//   daos_ctl commit <bundle-file>   boot a supervised run, apply a staged
+//                                   reconfiguration bundle mid-run; exits
+//                                   non-zero when the bundle is rejected
+//   daos_ctl checkpoint <out-file>  run supervised, save a checkpoint
+//   daos_ctl restore <in-file>      boot from a saved checkpoint, resume
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "analysis/heatmap.hpp"
 #include "damon/recorder.hpp"
 #include "damon/trace.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
+#include "dbgfs/lifecycle_fs.hpp"
 #include "dbgfs/procfs.hpp"
 #include "dbgfs/telemetry_fs.hpp"
+#include "lifecycle/supervisor.hpp"
 #include "sim/system.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_buffer.hpp"
@@ -47,9 +61,156 @@ void Cat(daos::dbgfs::PseudoFs& fs, const std::string& path) {
               fs.Read(path).value_or("<unreadable>\n").c_str());
 }
 
+std::optional<std::string> Slurp(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool Spill(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  std::fclose(f);
+  return ok;
+}
+
+/// One supervised kdamond over the demo workload: the lifecycle verbs all
+/// operate on this stack through the /lifecycle control files.
+struct SupervisedRun {
+  daos::sim::System system;
+  daos::sim::Process* proc = nullptr;
+  daos::dbgfs::PseudoFs fs;
+  daos::lifecycle::KdamondSupervisor supervisor;
+  daos::dbgfs::LifecycleFs lifecycle_fs;
+
+  SupervisedRun()
+      : system(daos::sim::MachineSpec::I3Metal().GuestOf(),
+               daos::sim::SwapConfig::Zram(), daos::sim::ThpMode::kNever,
+               5 * daos::kUsPerMs),
+        supervisor(MakeConfig()),
+        lifecycle_fs(&fs, &supervisor) {
+    const daos::workload::WorkloadProfile* profile =
+        daos::workload::FindProfile("parsec3/freqmine");
+    proc = &system.AddProcess(daos::workload::ToProcessParams(*profile),
+                              daos::workload::MakeSource(*profile, 11));
+    daos::sim::Process* target = proc;
+    const double check_us = system.machine().costs().monitor_check_us;
+    supervisor.SetTargetFactory(
+        [target, check_us](daos::damon::DamonContext& ctx) {
+          ctx.AddTarget(std::make_unique<daos::damon::VaddrPrimitives>(
+              &target->space(), check_us));
+        });
+    supervisor.AttachTo(system);
+  }
+
+  static daos::lifecycle::SupervisorConfig MakeConfig() {
+    daos::lifecycle::SupervisorConfig config;
+    config.recorder_every = daos::kUsPerSec;
+    return config;
+  }
+};
+
+int RunCommit(const char* bundle_path) {
+  const std::optional<std::string> bundle = Slurp(bundle_path);
+  if (!bundle.has_value()) {
+    std::fprintf(stderr, "cannot read bundle file '%s'\n", bundle_path);
+    return 1;
+  }
+  SupervisedRun run;
+  std::string error;
+  if (!run.supervisor.InstallSchemesFromText("min max min min 2s max pageout",
+                                             &error)) {
+    std::fprintf(stderr, "initial scheme install failed: %s\n", error.c_str());
+    return 1;
+  }
+  run.system.Run(5 * daos::kUsPerSec);
+  if (!Echo(run.fs, *bundle, "/lifecycle/commit")) {
+    // Rejected bundle: the running configuration is untouched, and the
+    // non-zero exit is the scriptable signal (set -e style).
+    Cat(run.fs, "/lifecycle/commit");
+    return 1;
+  }
+  run.system.Run(5 * daos::kUsPerSec);
+  Cat(run.fs, "/lifecycle/commit");
+  Cat(run.fs, "/lifecycle/state");
+  return 0;
+}
+
+int RunCheckpoint(const char* out_path) {
+  SupervisedRun run;
+  std::string error;
+  if (!run.supervisor.InstallSchemesFromText("min max min min 2s max pageout",
+                                             &error)) {
+    std::fprintf(stderr, "initial scheme install failed: %s\n", error.c_str());
+    return 1;
+  }
+  run.system.Run(10 * daos::kUsPerSec);
+  const std::optional<std::string> checkpoint =
+      run.fs.Read("/lifecycle/checkpoint");
+  if (!checkpoint.has_value() || !Spill(out_path, *checkpoint)) {
+    std::fprintf(stderr, "cannot write checkpoint to '%s'\n", out_path);
+    return 1;
+  }
+  std::printf("checkpoint written to %s (%zu bytes, t=%llus)\n", out_path,
+              checkpoint->size(),
+              static_cast<unsigned long long>(run.system.Now() /
+                                              daos::kUsPerSec));
+  Cat(run.fs, "/lifecycle/state");
+  return 0;
+}
+
+int RunRestore(const char* in_path) {
+  const std::optional<std::string> checkpoint = Slurp(in_path);
+  if (!checkpoint.has_value()) {
+    std::fprintf(stderr, "cannot read checkpoint file '%s'\n", in_path);
+    return 1;
+  }
+  SupervisedRun run;
+  std::string error;
+  if (!run.fs.Write("/lifecycle/checkpoint", *checkpoint, &error)) {
+    std::fprintf(stderr, "restore rejected: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("restored %zu bytes from %s; resuming monitoring\n",
+              checkpoint->size(), in_path);
+  run.system.Run(5 * daos::kUsPerSec);
+  Cat(run.fs, "/lifecycle/state");
+  return 0;
+}
+
+int RunDemo();
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const char* verb = argv[1];
+    if (std::strcmp(verb, "commit") == 0 && argc == 3)
+      return RunCommit(argv[2]);
+    if (std::strcmp(verb, "checkpoint") == 0 && argc == 3)
+      return RunCheckpoint(argv[2]);
+    if (std::strcmp(verb, "restore") == 0 && argc == 3)
+      return RunRestore(argv[2]);
+    std::fprintf(stderr,
+                 "usage: daos_ctl                      # debugfs demo\n"
+                 "       daos_ctl commit <bundle>     # staged reconfig\n"
+                 "       daos_ctl checkpoint <file>   # save state\n"
+                 "       daos_ctl restore <file>      # boot from state\n");
+    return 2;
+  }
+  return RunDemo();
+}
+
+namespace {
+
+int RunDemo() {
   using namespace daos;
 
   const workload::WorkloadProfile* profile =
@@ -122,3 +283,5 @@ int main() {
   }
   return ok ? 0 : 1;
 }
+
+}  // namespace

@@ -42,6 +42,45 @@ void DamonContext::BindTelemetry(telemetry::MetricsRegistry& registry,
   tel_.nr_regions->Set(TotalRegions());
 }
 
+MonitorSchedState DamonContext::ExportSchedState() const {
+  MonitorSchedState s;
+  s.primed = primed_;
+  s.next_sample = next_sample_;
+  s.next_aggregate = next_aggregate_;
+  s.next_update = next_update_;
+  s.rng_state = rng_.State();
+  s.counters = counters_;
+  s.target_layout_gens = target_layout_gens_;
+  return s;
+}
+
+void DamonContext::ImportSchedState(const MonitorSchedState& state) {
+  primed_ = state.primed;
+  next_sample_ = state.next_sample;
+  next_aggregate_ = state.next_aggregate;
+  next_update_ = state.next_update;
+  rng_.SetState(state.rng_state);
+  counters_ = state.counters;
+  // Layout generations beyond the current target count are dropped; missing
+  // ones force a regions re-check on the next update (the safe direction).
+  target_layout_gens_.assign(targets_.size(), ~0ull);
+  for (std::size_t i = 0;
+       i < targets_.size() && i < state.target_layout_gens.size(); ++i) {
+    target_layout_gens_[i] = state.target_layout_gens[i];
+  }
+}
+
+void DamonContext::CommitAttrs(const MonitoringAttrs& attrs, SimTimeUs now) {
+  attrs_ = attrs;
+  if (!primed_) return;  // first Step() derives the deadlines anyway
+  next_sample_ = now + attrs_.sampling_interval;
+  next_aggregate_ = now + attrs_.aggregation_interval;
+  next_update_ = now + attrs_.regions_update_interval;
+  // Regions, ages and access counts survive: the commit preserves the
+  // adaptation the monitor spent wall-clock building. A shrunken
+  // max_nr_regions takes effect through the normal split/merge machinery.
+}
+
 DamonTarget& DamonContext::AddTarget(std::unique_ptr<Primitives> primitives) {
   if (!DAOS_CHECK(primitives != nullptr)) {
     // A null target would crash every sampling pass; refuse it but keep the
@@ -361,12 +400,19 @@ double DamonContext::Step(SimTimeUs now, SimTimeUs quantum) {
   }
 
   while (now >= next_sample_) {
+    // Each iteration services the sample *deadline*, not the wall clock:
+    // when a caller steps far past next_sample_ (coarse stepping, or a
+    // restored checkpoint replaying the windows lost to a crash), the
+    // aggregation/update cadence and every hook timestamp must land on the
+    // same sample offsets a finer-grained run would have produced, or the
+    // RNG stream and the recorder diverge from the uninterrupted run.
+    const SimTimeUs vnow = next_sample_;
     CheckAccesses();
-    if (now >= next_aggregate_) {
-      Aggregate(now);
+    if (vnow >= next_aggregate_) {
+      Aggregate(vnow);
       next_aggregate_ += attrs_.aggregation_interval;
     }
-    if (now >= next_update_) {
+    if (vnow >= next_update_) {
       for (std::size_t i = 0; i < targets_.size(); ++i) {
         const std::uint64_t gen = targets_[i].primitives->LayoutGeneration();
         if (gen != target_layout_gens_[i]) {
@@ -376,7 +422,7 @@ double DamonContext::Step(SimTimeUs now, SimTimeUs quantum) {
       }
       next_update_ += attrs_.regions_update_interval;
     }
-    PrepareAccessChecks(now);
+    PrepareAccessChecks(vnow);
     interference += interference_per_sample_us_ * TotalRegions();
     next_sample_ += attrs_.sampling_interval;
   }

@@ -13,6 +13,7 @@
 // "monitoring overhead" results (Figure 7, Conclusion 3) are measurable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -46,6 +47,22 @@ struct MonitorCounters {
   std::uint64_t region_merges = 0;
   std::uint64_t regions_updates = 0;
   double cpu_us = 0.0;                  // monitor-thread CPU time consumed
+};
+
+/// The monitor's scheduling state outside the regions themselves: every
+/// deadline, the RNG stream, the counters, and the per-target layout
+/// generations. Together with the targets' regions this is everything a
+/// checkpoint needs to rebuild a kdamond that continues *bit-identically*
+/// (src/lifecycle); regions stay in DamonTarget because the restore side
+/// recreates targets through primitives factories first.
+struct MonitorSchedState {
+  bool primed = false;
+  SimTimeUs next_sample = 0;
+  SimTimeUs next_aggregate = 0;
+  SimTimeUs next_update = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  MonitorCounters counters;
+  std::vector<std::uint64_t> target_layout_gens;
 };
 
 class DamonContext {
@@ -91,6 +108,19 @@ class DamonContext {
   double CpuFraction(SimTimeUs now) const {
     return now == 0 ? 0.0 : counters_.cpu_us / static_cast<double>(now);
   }
+
+  /// Checkpoint hooks (src/lifecycle): the scheduling state that, together
+  /// with each target's regions, makes a restored context continue the
+  /// exact sampling/aggregation/split stream the captured one would have.
+  MonitorSchedState ExportSchedState() const;
+  void ImportSchedState(const MonitorSchedState& state);
+
+  /// Transactional online reconfiguration (upstream DAMON's
+  /// damon_commit_ctx analogue): swaps the attrs in while *preserving*
+  /// regions, ages and counters, and re-derives every deadline from `now`
+  /// so the next window opens under the new intervals. The caller (the
+  /// lifecycle supervisor) validates the bundle before calling.
+  void CommitAttrs(const MonitoringAttrs& attrs, SimTimeUs now);
 
   // Exposed for tests (each is one well-defined stage of the kdamond loop).
   void InitRegionsFor(DamonTarget& target);

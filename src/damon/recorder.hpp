@@ -34,7 +34,20 @@ class Recorder {
   void Attach(DamonContext& ctx, SimTimeUs every = 0);
 
   const std::vector<Snapshot>& snapshots() const noexcept { return snapshots_; }
+  /// Drops the history. NOT the restart path: a kdamond rebuilt from a
+  /// checkpoint must call RestoreTail() instead, or the snapshot history
+  /// feeding analysis/heatmap silently truncates at the crash.
   void Clear() { snapshots_.clear(); }
+
+  /// Checkpoint hooks (src/lifecycle). `RestoreTail` replaces the held
+  /// history with the checkpoint's tail and re-arms the recording cadence,
+  /// so post-restore snapshots append seamlessly after the restored ones.
+  SimTimeUs every() const noexcept { return every_; }
+  SimTimeUs next() const noexcept { return next_; }
+  void RestoreTail(std::vector<Snapshot> tail, SimTimeUs next) {
+    snapshots_ = std::move(tail);
+    next_ = next;
+  }
 
   /// Total bytes believed accessed (nr_accesses > 0) in the latest
   /// snapshot of target 0 — a cheap working-set-size estimate.

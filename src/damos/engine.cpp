@@ -67,7 +67,73 @@ void SchemesEngine::RebindInstruments() {
   }
 }
 
+SchemesEngine::CommitOutcome SchemesEngine::CommitSchemes(
+    std::vector<Scheme> schemes) {
+  CommitOutcome outcome;
+  runtime_.resize(schemes_.size());
+  governor_.EnsureSlots(schemes_.size());
+
+  std::vector<SchemeRuntime> new_runtime(schemes.size());
+  std::vector<governor::Governor::SlotState> new_slots(schemes.size());
+  std::vector<bool> old_taken(schemes_.size(), false);
+  for (std::size_t nj = 0; nj < schemes.size(); ++nj) {
+    Scheme& incoming = schemes[nj];
+    std::size_t match = schemes_.size();
+    for (std::size_t oi = 0; oi < schemes_.size(); ++oi) {
+      if (old_taken[oi]) continue;
+      if (schemes_[oi].bounds() == incoming.bounds()) {
+        match = oi;
+        break;
+      }
+    }
+    if (match == schemes_.size()) {
+      ++outcome.fresh;  // no identity match: cold stats, cold runtime
+      continue;
+    }
+    old_taken[match] = true;
+    ++outcome.carried;
+    const Scheme& old = schemes_[match];
+    incoming.stats() = old.stats();
+    new_runtime[nj] = runtime_[match];
+    new_slots[nj] = governor_.ExportSlot(match);
+    // Reset only what changed: a new quota spec starts a fresh charge
+    // window, a new watermark spec re-arms the gate from its default.
+    if (incoming.policy().quota != old.policy().quota) {
+      new_slots[nj].quota = governor::QuotaState{};
+      ++outcome.quota_resets;
+    }
+    if (incoming.policy().wmarks != old.policy().wmarks) {
+      new_slots[nj].wmark_active = true;
+      new_slots[nj].next_wmark_check = 0;
+      incoming.stats().wmark_active = true;
+    }
+  }
+
+  schemes_ = std::move(schemes);
+  runtime_ = std::move(new_runtime);
+  governor_.Reset(schemes_.size());
+  for (std::size_t i = 0; i < schemes_.size(); ++i)
+    governor_.ImportSlot(i, new_slots[i]);
+  if (registry_ != nullptr) RebindInstruments();
+  return outcome;
+}
+
+SchemesEngine::SlotRuntime SchemesEngine::ExportSlotRuntime(
+    std::size_t scheme_index) const {
+  if (scheme_index >= runtime_.size()) return SlotRuntime{};
+  return SlotRuntime{runtime_[scheme_index].backoff_exp,
+                     runtime_[scheme_index].backoff_until};
+}
+
+void SchemesEngine::ImportSlotRuntime(std::size_t scheme_index,
+                                      const SlotRuntime& rt) {
+  if (scheme_index >= runtime_.size()) runtime_.resize(scheme_index + 1);
+  runtime_[scheme_index] =
+      SchemeRuntime{rt.backoff_exp, rt.backoff_until};
+}
+
 void SchemesEngine::Apply(damon::DamonContext& ctx, SimTimeUs now) {
+  if (disarmed_) return;  // degraded mode: monitoring-only, schemes idle
   if (registry_ != nullptr && instruments_.size() != schemes_.size())
     RebindInstruments();  // schemes were reinstalled since the last pass
   runtime_.resize(schemes_.size());

@@ -48,8 +48,44 @@ class SchemesEngine {
   }
 
   /// The governor runtime (budget charges, watermark state). Exposed for
-  /// tests and dbgfs introspection.
+  /// tests and dbgfs introspection; the mutable overload exists for the
+  /// lifecycle supervisor's checkpoint import.
   const governor::Governor& governor() const noexcept { return governor_; }
+  governor::Governor& governor() noexcept { return governor_; }
+
+  /// How a transactional scheme commit mapped new slots onto old ones.
+  struct CommitOutcome {
+    std::size_t carried = 0;        // slots whose stats/runtime survived
+    std::size_t fresh = 0;          // slots with no old identity match
+    std::size_t quota_resets = 0;   // carried slots whose quota spec changed
+  };
+
+  /// Replaces the installed schemes *transactionally* (upstream DAMON's
+  /// damos commit): each new scheme that shares its bounds identity with an
+  /// installed one inherits that slot's stats, failure-backoff runtime and
+  /// governor charge state — a retune of policy knobs must not reset the
+  /// window's spent budget (and must not launder a fresh one). Only what
+  /// changed is reset: a changed quota spec drops the charge state, a
+  /// changed watermark spec drops the gate runtime, an unmatched scheme
+  /// starts cold. The caller validates the scheme text beforehand;
+  /// this call cannot fail.
+  CommitOutcome CommitSchemes(std::vector<Scheme> schemes);
+
+  /// Degraded mode (lifecycle crash-loop containment): while disarmed, the
+  /// apply pass returns immediately — monitoring continues, no action
+  /// runs, no stats or budgets move. Re-arming resumes exactly where the
+  /// pass state was left.
+  void SetDisarmed(bool disarmed) noexcept { disarmed_ = disarmed; }
+  bool disarmed() const noexcept { return disarmed_; }
+
+  /// One slot's engine-side runtime (failure backoff), exported for
+  /// checkpoints alongside the governor's SlotState.
+  struct SlotRuntime {
+    std::uint32_t backoff_exp = 0;
+    SimTimeUs backoff_until = 0;
+  };
+  SlotRuntime ExportSlotRuntime(std::size_t scheme_index) const;
+  void ImportSlotRuntime(std::size_t scheme_index, const SlotRuntime& rt);
 
   std::vector<Scheme>& schemes() noexcept { return schemes_; }
   const std::vector<Scheme>& schemes() const noexcept { return schemes_; }
@@ -103,6 +139,7 @@ class SchemesEngine {
 
   std::vector<Scheme> schemes_;
   std::vector<SchemeRuntime> runtime_;
+  bool disarmed_ = false;
   governor::Governor governor_;
   telemetry::MetricsRegistry* registry_ = nullptr;
   telemetry::TraceBuffer* trace_ = nullptr;

@@ -39,6 +39,8 @@ struct FreqBound {
                ? value * static_cast<double>(attrs.MaxChecksPerAggregation())
                : value;
   }
+
+  bool operator==(const FreqBound&) const = default;
 };
 
 /// The seven user-provided values of a scheme.
@@ -50,6 +52,11 @@ struct SchemeBounds {
   SimTimeUs min_age = 0;       // wall-clock form; compared against
   SimTimeUs max_age = kMaxU64; // region age * aggregation interval
   damon::DamosAction action = damon::DamosAction::kStat;
+
+  /// Scheme *identity* for online reconfiguration: two schemes with equal
+  /// bounds are "the same scheme" across a commit, so their stats and
+  /// governor charge state carry over (only the policy knobs changed).
+  bool operator==(const SchemeBounds&) const = default;
 };
 
 /// Per-scheme application statistics, as the kernel exposes for tuning.

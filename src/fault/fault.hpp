@@ -44,6 +44,7 @@ inline constexpr std::string_view kSwapSlotExhausted = "swap.slot_exhausted";
 inline constexpr std::string_view kAllocFrameFail = "alloc.frame_fail";
 inline constexpr std::string_view kThpCollapseFail = "thp.collapse_fail";
 inline constexpr std::string_view kDaemonOverrun = "daemon.overrun";
+inline constexpr std::string_view kDaemonCrash = "daemon.crash";
 inline constexpr std::string_view kTrialHang = "trial.hang";
 
 /// Trigger configuration of one fault point. A point is armed when any

@@ -91,6 +91,26 @@ class Governor {
   }
   bool wmark_active(std::size_t si) const { return slots_[si].wmark_active; }
 
+  /// One slot's full runtime state, for checkpoint/restore and for commits
+  /// that carry charge state across a scheme reconfiguration. A kdamond
+  /// rebuilt mid-window must NOT get a fresh budget: importing the
+  /// captured slot carries the window's charges, so a crash cannot
+  /// launder quota.
+  struct SlotState {
+    QuotaState quota;
+    bool wmark_active = true;
+    SimTimeUs next_wmark_check = 0;
+  };
+  SlotState ExportSlot(std::size_t si) const {
+    const Slot& s = slots_[si];
+    return SlotState{s.quota, s.wmark_active, s.next_wmark_check};
+  }
+  void ImportSlot(std::size_t si, const SlotState& state) {
+    if (si >= slots_.size()) slots_.resize(si + 1);
+    slots_[si] = Slot{state.quota, state.wmark_active,
+                      state.next_wmark_check};
+  }
+
  private:
   struct Slot {
     QuotaState quota;

@@ -1,0 +1,94 @@
+// Versioned checkpoint serialization for one kdamond's full monitoring
+// state (lifecycle pillar 2).
+//
+// A checkpoint captures everything the monitor/engine/governor stack has
+// *learned* — region splits with ages and access counts, the RNG stream,
+// scheduling deadlines, per-scheme stats, failure-backoff runtime,
+// governor quota charges and watermark phase, and the recorder tail — so
+// a supervisor can rebuild a crashed kdamond from the last snapshot
+// instead of cold-starting and throwing the adaptation away. Restoring at
+// the capture time continues bit-identically (pinned by
+// test_checkpoint_roundtrip); restoring after a crash converges within
+// one aggregation window (pinned by test_lifecycle).
+//
+// The format is line-oriented text, "daos-checkpoint v1" first, one
+// record per line, doubles as hex-floats ("%a") for exact round-trips.
+// Parsing is all-or-nothing with line-accurate errors, like every other
+// text surface of this repo (schemes, /fault).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "damon/attrs.hpp"
+#include "damon/monitor.hpp"
+#include "damon/recorder.hpp"
+#include "damos/engine.hpp"
+#include "damos/scheme.hpp"
+#include "governor/governor.hpp"
+
+namespace daos::lifecycle {
+
+inline constexpr int kCheckpointVersion = 1;
+inline constexpr std::string_view kCheckpointMagic = "daos-checkpoint";
+
+/// One monitoring target's learned region state. The primitives themselves
+/// are not serializable (they point at live sim objects); the restore side
+/// recreates them through the supervisor's target factory and installs
+/// these regions on top.
+struct CheckpointTarget {
+  std::vector<damon::Region> regions;
+};
+
+/// One scheme slot: configuration, stats, and both runtime planes.
+struct CheckpointScheme {
+  damos::Scheme scheme;  // bounds + policy + stats
+  damos::SchemesEngine::SlotRuntime backoff;
+  governor::Governor::SlotState slot;
+};
+
+struct Checkpoint {
+  int version = kCheckpointVersion;
+  SimTimeUs at = 0;  // capture time (sim clock)
+  damon::MonitoringAttrs attrs;
+  damon::MonitorSchedState sched;
+  std::vector<CheckpointTarget> targets;
+  bool engine_disarmed = false;
+  std::vector<CheckpointScheme> schemes;
+  // Recorder tail: the most recent snapshots, so restore does not truncate
+  // the history feeding analysis/heatmap.
+  SimTimeUs recorder_every = 0;
+  SimTimeUs recorder_next = 0;
+  std::vector<damon::Snapshot> recorder_tail;
+};
+
+std::string SerializeCheckpoint(const Checkpoint& cp);
+
+struct CheckpointError {
+  int line_number = 0;  // 1-based line within the input text
+  std::string message;
+};
+
+/// All-or-nothing parse; nullopt + a line-accurate `*error` on malformed,
+/// truncated, or version-skewed input.
+std::optional<Checkpoint> ParseCheckpoint(std::string_view text,
+                                          CheckpointError* error = nullptr);
+
+/// Captures the live stack. `recorder` may be null; `recorder_tail_max`
+/// bounds the serialized snapshot tail (oldest dropped first, 0 = none).
+Checkpoint CaptureCheckpoint(const damon::DamonContext& ctx,
+                             const damos::SchemesEngine& engine,
+                             const damon::Recorder* recorder, SimTimeUs now,
+                             std::size_t recorder_tail_max = 256);
+
+/// Installs `cp` into a freshly-built stack whose targets were already
+/// recreated (same count and order as at capture). Returns false and sets
+/// `*error` on a target-count mismatch; the scheduling/engine state is
+/// only written on success.
+bool RestoreCheckpoint(const Checkpoint& cp, damon::DamonContext& ctx,
+                       damos::SchemesEngine& engine,
+                       damon::Recorder* recorder, std::string* error);
+
+}  // namespace daos::lifecycle

@@ -1,0 +1,455 @@
+#include "lifecycle/supervisor.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+#include "damos/parser.hpp"
+#include "util/strings.hpp"
+
+namespace daos::lifecycle {
+
+std::string_view SupervisorStateName(SupervisorState state) {
+  switch (state) {
+    case SupervisorState::kRunning:
+      return "running";
+    case SupervisorState::kDraining:
+      return "draining";
+    case SupervisorState::kCommitting:
+      return "committing";
+    case SupervisorState::kRestoring:
+      return "restoring";
+    case SupervisorState::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+KdamondSupervisor::KdamondSupervisor(SupervisorConfig config)
+    : config_(config), current_attrs_(config.attrs) {
+  next_checkpoint_ = config_.checkpoint_interval;
+  RebuildStack();
+}
+
+void KdamondSupervisor::RebuildStack() {
+  // The context's aggregation hooks capture the engine and recorder by
+  // reference: tear the context down first, then replace the callees.
+  ctx_.reset();
+  engine_ = std::make_unique<damos::SchemesEngine>();
+  recorder_ = std::make_unique<damon::Recorder>();
+  ctx_ = std::make_unique<damon::DamonContext>(
+      current_attrs_, config_.seed, config_.interference_per_sample_us);
+  engine_->Attach(*ctx_);
+  engine_->SetMachine(machine_);
+  recorder_->Attach(*ctx_, config_.recorder_every);
+  if (factory_) factory_(*ctx_);
+  // Telemetry binds before any state import: the bind-time catch-up sees
+  // all-zero counters, so registry totals stay monotonic across rebuilds
+  // instead of double-counting the restored values.
+  BindStackTelemetry();
+}
+
+void KdamondSupervisor::SetTargetFactory(TargetFactory factory) {
+  factory_ = std::move(factory);
+  if (factory_) factory_(*ctx_);
+}
+
+void KdamondSupervisor::AttachTo(sim::System& system) {
+  machine_ = &system.machine();
+  engine_->SetMachine(machine_);
+  system.AddFaultPlaneListener([this](fault::FaultPlane* plane) {
+    crash_point_ =
+        plane != nullptr ? &plane->Point(fault::kDaemonCrash) : nullptr;
+  });
+  system.RegisterDaemon([this](SimTimeUs now, SimTimeUs quantum) {
+    return Step(now, quantum);
+  });
+}
+
+void KdamondSupervisor::BindTelemetry(telemetry::MetricsRegistry& registry,
+                                      telemetry::TraceBuffer* trace) {
+  registry_ = &registry;
+  trace_ = trace;
+  tel_.commits = &registry.GetCounter("lifecycle.commits");
+  tel_.rollbacks = &registry.GetCounter("lifecycle.rollbacks");
+  tel_.checkpoints = &registry.GetCounter("lifecycle.checkpoints");
+  tel_.restores = &registry.GetCounter("lifecycle.restores");
+  tel_.cold_restarts = &registry.GetCounter("lifecycle.cold_restarts");
+  tel_.crashes = &registry.GetCounter("lifecycle.crashes");
+  tel_.degraded_entries = &registry.GetCounter("lifecycle.degraded_entries");
+  tel_.commits->Add(counters_.commits);
+  tel_.rollbacks->Add(counters_.rollbacks);
+  tel_.checkpoints->Add(counters_.checkpoints);
+  tel_.restores->Add(counters_.restores);
+  tel_.cold_restarts->Add(counters_.cold_restarts);
+  tel_.crashes->Add(counters_.crashes);
+  tel_.degraded_entries->Add(counters_.degraded_entries);
+  BindStackTelemetry();
+}
+
+void KdamondSupervisor::BindStackTelemetry() {
+  if (registry_ == nullptr) return;
+  ctx_->BindTelemetry(*registry_, trace_, "damon.ctx0");
+  engine_->BindTelemetry(*registry_, trace_, "damos");
+}
+
+void KdamondSupervisor::Push(telemetry::EventKind kind, std::uint64_t arg0,
+                             std::uint64_t arg1, std::uint64_t arg2) {
+  if (trace_ != nullptr) trace_->Push({now_, kind, 0, arg0, arg1, arg2});
+}
+
+bool KdamondSupervisor::InstallSchemesFromText(std::string_view text,
+                                               std::string* error) {
+  std::vector<std::string> errors;
+  if (!engine_->InstallFromText(text, &errors)) {
+    if (error != nullptr)
+      *error = errors.empty() ? "scheme parse error" : errors.front();
+    return false;
+  }
+  current_schemes_ = StripRuntime(engine_->schemes());
+  return true;
+}
+
+std::vector<damos::Scheme> KdamondSupervisor::StripRuntime(
+    const std::vector<damos::Scheme>& schemes) {
+  std::vector<damos::Scheme> out;
+  out.reserve(schemes.size());
+  for (const damos::Scheme& s : schemes) {
+    damos::Scheme bare(s.bounds());
+    bare.policy() = s.policy();
+    out.push_back(std::move(bare));
+  }
+  return out;
+}
+
+// ---- pillar 1: transactional online reconfiguration ---------------------
+
+bool KdamondSupervisor::ParseCommitBundle(std::string_view text,
+                                          CommitBundle* bundle,
+                                          std::string* error) const {
+  CommitBundle out;
+  std::vector<damos::Scheme> schemes;
+  bool have_schemes = false;
+  int line_number = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr)
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    return false;
+  };
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_number;
+    line = TrimWhitespace(StripComment(line));
+    if (line.empty()) continue;
+    const std::size_t space = line.find_first_of(" \t");
+    const std::string_view directive = line.substr(0, space);
+    const std::string_view rest =
+        space == std::string_view::npos
+            ? std::string_view{}
+            : TrimWhitespace(line.substr(space + 1));
+    if (directive == "attrs") {
+      if (out.attrs.has_value()) return fail("duplicate attrs directive");
+      const auto tokens = SplitWhitespace(rest);
+      if (tokens.size() != 5)
+        return fail(
+            "attrs expects: sample_us aggr_us update_us min_nr max_nr");
+      std::uint64_t vals[5];
+      for (int i = 0; i < 5; ++i) {
+        const char* end = tokens[i].data() + tokens[i].size();
+        const auto [ptr, ec] =
+            std::from_chars(tokens[i].data(), end, vals[i]);
+        if (ec != std::errc{} || ptr != end)
+          return fail("bad number '" + std::string(tokens[i]) + "'");
+      }
+      // Wire format carries the five classic attrs; adaptive mode and the
+      // age-reset threshold keep their running values.
+      damon::MonitoringAttrs attrs = current_attrs_;
+      attrs.sampling_interval = vals[0];
+      attrs.aggregation_interval = vals[1];
+      attrs.regions_update_interval = vals[2];
+      attrs.min_nr_regions = static_cast<std::uint32_t>(vals[3]);
+      attrs.max_nr_regions = static_cast<std::uint32_t>(vals[4]);
+      out.attrs = attrs;
+    } else if (directive == "scheme") {
+      const damos::ParseResult parsed = damos::ParseSchemeLine(rest);
+      if (!parsed.ok()) return fail(parsed.errors.front().message);
+      schemes.push_back(parsed.schemes.front());
+      have_schemes = true;
+    } else {
+      return fail("unknown directive '" + std::string(directive) +
+                  "' (want attrs|scheme)");
+    }
+  }
+  if (have_schemes) out.schemes = std::move(schemes);
+  if (out.empty()) {
+    line_number = 1;
+    return fail("empty commit bundle (no attrs or scheme directives)");
+  }
+  *bundle = std::move(out);
+  return true;
+}
+
+bool KdamondSupervisor::StageCommit(CommitBundle bundle, std::string* error) {
+  auto reject = [&](const std::string& message) {
+    ++counters_.rollbacks;
+    if (tel_.rollbacks != nullptr) tel_.rollbacks->Add(1);
+    last_commit_result_ = "rejected: " + message;
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (bundle.empty()) return reject("empty commit bundle");
+  if (bundle.attrs.has_value()) {
+    const damon::MonitoringAttrs& a = *bundle.attrs;
+    if (a.sampling_interval == 0)
+      return reject("attrs: sampling interval must be > 0");
+    if (a.aggregation_interval < a.sampling_interval)
+      return reject("attrs: aggregation interval below sampling interval");
+    if (a.min_nr_regions == 0 || a.max_nr_regions < a.min_nr_regions)
+      return reject("attrs: need 0 < min_nr_regions <= max_nr_regions");
+  }
+  if (bundle.schemes.has_value()) {
+    // Scheme lines were validated at parse time; a programmatic bundle
+    // gets the same cross-field policy checks here so both entry points
+    // reject identically.
+    for (std::size_t i = 0; i < bundle.schemes->size(); ++i) {
+      std::string policy_error;
+      if (!governor::ValidatePolicy((*bundle.schemes)[i].policy(),
+                                    &policy_error))
+        return reject("scheme " + std::to_string(i) + ": " + policy_error);
+    }
+  }
+  staged_ = std::move(bundle);
+  last_commit_result_ = "staged";
+  if (!ctx_->ExportSchedState().primed) {
+    // Monitoring has not produced a window yet: nothing to drain.
+    ApplyStagedCommit(now_);
+  } else if (state_ == SupervisorState::kRunning) {
+    state_ = SupervisorState::kDraining;
+  }
+  return true;
+}
+
+bool KdamondSupervisor::CommitFromText(std::string_view text,
+                                       std::string* error) {
+  CommitBundle bundle;
+  std::string parse_error;
+  if (!ParseCommitBundle(text, &bundle, &parse_error)) {
+    ++counters_.rollbacks;
+    if (tel_.rollbacks != nullptr) tel_.rollbacks->Add(1);
+    last_commit_result_ = "rejected: " + parse_error;
+    if (error != nullptr) *error = parse_error;
+    return false;
+  }
+  return StageCommit(std::move(bundle), error);
+}
+
+void KdamondSupervisor::ApplyStagedCommit(SimTimeUs now) {
+  const SupervisorState resume = state_ == SupervisorState::kDegraded
+                                     ? SupervisorState::kDegraded
+                                     : SupervisorState::kRunning;
+  state_ = SupervisorState::kCommitting;
+  damos::SchemesEngine::CommitOutcome outcome;
+  if (staged_->attrs.has_value()) {
+    ctx_->CommitAttrs(*staged_->attrs, now);
+    current_attrs_ = *staged_->attrs;
+  }
+  if (staged_->schemes.has_value()) {
+    outcome = engine_->CommitSchemes(std::move(*staged_->schemes));
+    current_schemes_ = StripRuntime(engine_->schemes());
+  }
+  staged_.reset();
+  ++counters_.commits;
+  if (tel_.commits != nullptr) tel_.commits->Add(1);
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "committed: %zu carried %zu fresh %zu quota_resets",
+                outcome.carried, outcome.fresh, outcome.quota_resets);
+  last_commit_result_ = buf;
+  Push(telemetry::EventKind::kLifecycleCommit, outcome.carried, outcome.fresh,
+       outcome.quota_resets);
+  state_ = resume;
+}
+
+// ---- pillar 2: checkpoint/restore ---------------------------------------
+
+std::string KdamondSupervisor::CaptureCheckpointText() {
+  const Checkpoint cp = CaptureCheckpoint(*ctx_, *engine_, recorder_.get(),
+                                          now_, config_.recorder_tail_max);
+  last_checkpoint_ = SerializeCheckpoint(cp);
+  last_checkpoint_at_ = now_;
+  ++counters_.checkpoints;
+  if (tel_.checkpoints != nullptr) tel_.checkpoints->Add(1);
+  return last_checkpoint_;
+}
+
+bool KdamondSupervisor::RestoreFromText(std::string_view text,
+                                        std::string* error) {
+  CheckpointError parse_error;
+  const std::optional<Checkpoint> cp = ParseCheckpoint(text, &parse_error);
+  if (!cp.has_value()) {
+    if (error != nullptr)
+      *error = "line " + std::to_string(parse_error.line_number) + ": " +
+               parse_error.message;
+    return false;
+  }
+  current_attrs_ = cp->attrs;
+  RebuildStack();
+  std::string restore_error;
+  if (!RestoreCheckpoint(*cp, *ctx_, *engine_, recorder_.get(),
+                         &restore_error)) {
+    // The old stack is gone; come up cold on the current configuration
+    // rather than half-restored.
+    engine_->Install(current_schemes_);
+    if (error != nullptr) *error = restore_error;
+    return false;
+  }
+  current_schemes_ = StripRuntime(engine_->schemes());
+  ++counters_.restores;
+  if (tel_.restores != nullptr) tel_.restores->Add(1);
+  return true;
+}
+
+// ---- pillar 3: stepping & crash containment -----------------------------
+
+double KdamondSupervisor::Step(SimTimeUs now, SimTimeUs quantum) {
+  now_ = now;
+  if (!alive_) {
+    SuperviseDead(now);
+    return 0.0;
+  }
+  if (fault::Fires(crash_point_)) {
+    // The kdamond dies silently, like a kernel thread oops: no exit
+    // notification, no cleanup. The heartbeat goes stale and detection is
+    // the supervisor's next health check.
+    alive_ = false;
+    return 0.0;
+  }
+  RollBudgetWindow(now);
+  const std::uint64_t windows_before = ctx_->counters().aggregations;
+  const double interference = ctx_->Step(now, quantum);
+  last_heartbeat_ = now;
+  if (ctx_->counters().aggregations != windows_before) OnWindowBoundary(now);
+  return interference;
+}
+
+void KdamondSupervisor::OnWindowBoundary(SimTimeUs now) {
+  if (staged_.has_value()) ApplyStagedCommit(now);
+  if (config_.checkpoint_interval > 0 && now >= next_checkpoint_) {
+    CaptureCheckpointText();
+    next_checkpoint_ = now + config_.checkpoint_interval;
+  }
+}
+
+void KdamondSupervisor::SuperviseDead(SimTimeUs now) {
+  if (!crash_detected_) {
+    if (now < next_health_check_) return;
+    next_health_check_ = now + config_.heartbeat_interval;
+    if (now - last_heartbeat_ < config_.heartbeat_timeout) return;
+    // Stale heartbeat: declare the crash and schedule the restart.
+    crash_detected_ = true;
+    ++counters_.crashes;
+    if (tel_.crashes != nullptr) tel_.crashes->Add(1);
+    Push(telemetry::EventKind::kDaemonCrash, now - last_heartbeat_,
+         backoff_exp_);
+    const std::uint32_t exp =
+        std::min(backoff_exp_, config_.max_backoff_exp);
+    restart_at_ = now + (config_.restart_backoff << exp);
+    ++backoff_exp_;
+    state_ = SupervisorState::kRestoring;
+    return;
+  }
+  if (now >= restart_at_) Restart(now);
+}
+
+void KdamondSupervisor::RollBudgetWindow(SimTimeUs now) {
+  if (now < budget_window_start_ + config_.restart_budget_window) return;
+  budget_window_start_ = now;
+  restarts_in_window_ = 0;
+  backoff_exp_ = 0;
+  if (state_ == SupervisorState::kDegraded && alive_) {
+    // A full quiet window earned the schemes back.
+    engine_->SetDisarmed(false);
+    state_ = staged_.has_value() ? SupervisorState::kDraining
+                                 : SupervisorState::kRunning;
+  }
+}
+
+void KdamondSupervisor::Restart(SimTimeUs now) {
+  const bool degrade = restarts_in_window_ >= config_.restart_budget;
+  ++restarts_in_window_;
+  bool restored = false;
+  if (!last_checkpoint_.empty()) {
+    std::string error;
+    restored = RestoreFromText(last_checkpoint_, &error);
+  }
+  if (!restored) {
+    // No (usable) checkpoint: the configuration survives, the learned
+    // state does not.
+    RebuildStack();
+    engine_->Install(current_schemes_);
+    ++counters_.cold_restarts;
+    if (tel_.cold_restarts != nullptr) tel_.cold_restarts->Add(1);
+  }
+  alive_ = true;
+  crash_detected_ = false;
+  last_heartbeat_ = now;
+  next_health_check_ = now + config_.heartbeat_interval;
+  if (degrade) {
+    ++counters_.degraded_entries;
+    if (tel_.degraded_entries != nullptr) tel_.degraded_entries->Add(1);
+    Push(telemetry::EventKind::kLifecycleDegraded, restarts_in_window_,
+         config_.restart_budget);
+    state_ = SupervisorState::kDegraded;
+  } else {
+    state_ = staged_.has_value() ? SupervisorState::kDraining
+                                 : SupervisorState::kRunning;
+  }
+  // The supervisor, not the checkpoint, decides degraded mode: a snapshot
+  // captured while healthy must not re-arm schemes past an exhausted
+  // budget, and one captured while degraded must not pin a recovered
+  // kdamond down.
+  engine_->SetDisarmed(degrade);
+  Push(telemetry::EventKind::kLifecycleRestart, restored ? 1 : 0,
+       restarts_in_window_, degrade ? 1 : 0);
+}
+
+std::string KdamondSupervisor::StateText() const {
+  std::string out;
+  char buf[128];
+  auto line = [&](const char* key, std::uint64_t value) {
+    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", key, value);
+    out += buf;
+  };
+  out += "state ";
+  out += SupervisorStateName(state_);
+  out += '\n';
+  line("alive", alive_ ? 1 : 0);
+  line("commit_pending", staged_.has_value() ? 1 : 0);
+  line("commits", counters_.commits);
+  line("rollbacks", counters_.rollbacks);
+  line("checkpoints", counters_.checkpoints);
+  line("restores", counters_.restores);
+  line("cold_restarts", counters_.cold_restarts);
+  line("crashes", counters_.crashes);
+  line("degraded_entries", counters_.degraded_entries);
+  std::snprintf(buf, sizeof buf, "restart_budget %u/%u\n",
+                restarts_in_window_, config_.restart_budget);
+  out += buf;
+  line("backoff_exp", backoff_exp_);
+  line("restart_at", restart_at_);
+  line("last_checkpoint_at", last_checkpoint_at_);
+  line("last_checkpoint_bytes", last_checkpoint_.size());
+  if (!last_commit_result_.empty()) {
+    out += "last_commit ";
+    out += last_commit_result_;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace daos::lifecycle

@@ -18,6 +18,13 @@ void System::SetFaultPlane(fault::FaultPlane* plane) {
   machine_.SetFaultPlane(plane);
   daemon_overrun_ =
       plane != nullptr ? &plane->Point(fault::kDaemonOverrun) : nullptr;
+  for (FaultPlaneListener& listener : fault_plane_listeners_)
+    listener(plane);
+}
+
+void System::AddFaultPlaneListener(FaultPlaneListener listener) {
+  listener(fault_plane_);
+  fault_plane_listeners_.push_back(std::move(listener));
 }
 
 void System::OomKill(SimTimeUs now) {

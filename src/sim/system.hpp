@@ -62,6 +62,14 @@ class System {
   /// The env-armed plane (DAOS_FAULTS), if the ctor created one.
   fault::FaultPlane* fault_plane() noexcept { return fault_plane_; }
 
+  /// Invoked with the current plane immediately and again on every
+  /// SetFaultPlane — how attached components that resolve their own fault
+  /// points (the kdamond lifecycle supervisor's "daemon.crash") stay
+  /// current when a test or dbgfs write swaps the plane mid-run. The
+  /// callback must outlive the system.
+  using FaultPlaneListener = std::function<void(fault::FaultPlane*)>;
+  void AddFaultPlaneListener(FaultPlaneListener listener);
+
   std::uint64_t oom_kills() const noexcept { return oom_kills_; }
 
   /// Attaches the telemetry plane: every `interval` of simulated time the
@@ -97,6 +105,7 @@ class System {
   std::unique_ptr<fault::FaultPlane> owned_faults_;  // env-armed (DAOS_FAULTS)
   fault::FaultPlane* fault_plane_ = nullptr;
   fault::FaultPoint* daemon_overrun_ = nullptr;
+  std::vector<FaultPlaneListener> fault_plane_listeners_;
   std::uint64_t daemon_overruns_ = 0;
   std::uint64_t oom_kills_ = 0;
 

@@ -36,6 +36,14 @@ std::string_view EventKindName(EventKind kind) {
       return "quota_exceeded";
     case EventKind::kWatermark:
       return "watermark";
+    case EventKind::kDaemonCrash:
+      return "daemon_crash";
+    case EventKind::kLifecycleRestart:
+      return "lifecycle_restart";
+    case EventKind::kLifecycleCommit:
+      return "lifecycle_commit";
+    case EventKind::kLifecycleDegraded:
+      return "lifecycle_degraded";
   }
   return "?";
 }

@@ -34,6 +34,10 @@ enum class EventKind : std::uint8_t {
   kSchemeBackoff,  // a DAMOS scheme was backed off after repeated failures
   kQuotaExceeded,  // a scheme's apply budget blocked regions this pass
   kWatermark,      // a watermark gate flipped a scheme's activation
+  kDaemonCrash,    // a supervised kdamond died (fault-injected or detected)
+  kLifecycleRestart,  // supervisor rebuilt a kdamond (from checkpoint or cold)
+  kLifecycleCommit,   // a staged reconfiguration bundle was swapped in
+  kLifecycleDegraded,  // restart budget exhausted: schemes disarmed
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -96,6 +96,13 @@ class Rng {
   /// of them changes its number of draws.
   Rng Fork() noexcept { return Rng(NextU64() ^ 0xa5a5'5a5a'dead'beefULL); }
 
+  /// Raw generator state, for checkpoint/restore: a restored generator
+  /// continues the exact stream the captured one would have produced.
+  std::array<std::uint64_t, 4> State() const noexcept { return state_; }
+  void SetState(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

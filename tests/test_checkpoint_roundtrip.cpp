@@ -1,0 +1,204 @@
+// Checkpoint round-trip properties (src/lifecycle/checkpoint.hpp).
+//
+// The contract under test: serialize -> parse -> serialize is the identity
+// on the text, and restoring a capture into a freshly-built stack is the
+// identity on the *behaviour* — the restored kdamond produces bit-identical
+// monitoring state over the following aggregation windows compared with the
+// uninterrupted run. Doubles travel as hex-floats ("%a"), so equality here
+// means exact, not approximate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "damon/primitives.hpp"
+#include "fault/fault.hpp"
+#include "lifecycle/checkpoint.hpp"
+#include "lifecycle/supervisor.hpp"
+#include "sim/address_space.hpp"
+#include "sim/system.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace daos;
+
+constexpr Addr kBase = 1 * GiB;
+constexpr std::uint64_t kHeap = 64 * MiB;
+
+/// A hand-built minimal checkpoint: one target, one region, no schemes.
+lifecycle::Checkpoint TinyCheckpoint() {
+  lifecycle::Checkpoint cp;
+  cp.at = 123456;
+  cp.sched.primed = true;
+  cp.sched.next_sample = 123461;
+  cp.sched.next_aggregate = 123556;
+  cp.sched.next_update = 124456;
+  cp.sched.rng_state = {1, 2, 3, 4};
+  cp.sched.counters.samples = 10;
+  cp.sched.counters.aggregations = 1;
+  cp.sched.counters.cpu_us = 0.7;  // not representable in decimal: %a must
+  cp.sched.target_layout_gens = {1};
+  lifecycle::CheckpointTarget target;
+  damon::Region region;
+  region.start = kBase;
+  region.end = kBase + 2 * MiB;
+  region.nr_accesses = 3;
+  region.last_nr_accesses = 2;
+  region.age = 5;
+  region.sampling_addr = kBase + 4096;
+  target.regions.push_back(region);
+  cp.targets.push_back(target);
+  return cp;
+}
+
+/// One supervised kdamond over an anonymous heap, fault plane overridden
+/// so DAOS_FAULTS cannot perturb the golden comparisons.
+struct Rig {
+  fault::FaultPlane plane;
+  sim::System system;
+  sim::AddressSpace space;
+  lifecycle::KdamondSupervisor supervisor;
+
+  Rig()
+      : system(sim::MachineSpec{"ckpt", 4, 3.0, 4 * GiB},
+               sim::SwapConfig::Zram()),
+        space(1, &system.machine(), 3.0),
+        supervisor(lifecycle::SupervisorConfig{}) {
+    space.Map(kBase, kHeap, "heap");
+    sim::AddressSpace* heap = &space;
+    supervisor.SetTargetFactory([heap](damon::DamonContext& ctx) {
+      ctx.AddTarget(std::make_unique<damon::VaddrPrimitives>(heap));
+    });
+    supervisor.AttachTo(system);
+    system.SetFaultPlane(&plane);
+  }
+
+  void InstallOrDie(const char* schemes) {
+    std::string error;
+    ASSERT_TRUE(supervisor.InstallSchemesFromText(schemes, &error)) << error;
+  }
+};
+
+// A governed scheme so the round trip crosses every serialized plane:
+// stats, quota charges, priority weights, and the watermark gate.
+constexpr char kGovernedScheme[] =
+    "min max min min 1s max pageout quota_sz=4M quota_reset_ms=1000 "
+    "prio_weights=3,7,1 wmarks=free_mem_rate,1000,500,1";
+
+TEST(CheckpointFormatTest, HeaderBodyAndFooterPinned) {
+  const std::string text = SerializeCheckpoint(TinyCheckpoint());
+  EXPECT_EQ(text.rfind("daos-checkpoint v1\n", 0), 0u) << text;
+  EXPECT_NE(text.find("\nat 123456\n"), std::string::npos);
+  EXPECT_NE(text.find("\nrng 1 2 3 4\n"), std::string::npos);
+  EXPECT_NE(text.find("\ntargets 1\n"), std::string::npos);
+  EXPECT_NE(text.find("\nschemes 0\n"), std::string::npos);
+  EXPECT_NE(text.find("\nrecorder 0 0 0\n"), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 4), "end\n");
+}
+
+TEST(CheckpointFormatTest, SerializeParseSerializeIsIdentity) {
+  const std::string text = SerializeCheckpoint(TinyCheckpoint());
+  lifecycle::CheckpointError error;
+  const std::optional<lifecycle::Checkpoint> parsed =
+      lifecycle::ParseCheckpoint(text, &error);
+  ASSERT_TRUE(parsed.has_value())
+      << "line " << error.line_number << ": " << error.message;
+  EXPECT_EQ(parsed->at, 123456u);
+  ASSERT_EQ(parsed->targets.size(), 1u);
+  ASSERT_EQ(parsed->targets[0].regions.size(), 1u);
+  EXPECT_EQ(parsed->targets[0].regions[0].age, 5u);
+  EXPECT_EQ(parsed->sched.counters.cpu_us, 0.7);
+  EXPECT_EQ(SerializeCheckpoint(*parsed), text);
+}
+
+TEST(CheckpointRoundTripTest, LiveCaptureReserializesExactly) {
+  Rig rig;
+  rig.space.TouchRange(kBase, kBase + kHeap, true, 0);
+  rig.InstallOrDie(kGovernedScheme);
+  rig.system.Run(3 * kUsPerSec);
+
+  const std::string text = rig.supervisor.CaptureCheckpointText();
+  lifecycle::CheckpointError error;
+  const std::optional<lifecycle::Checkpoint> parsed =
+      lifecycle::ParseCheckpoint(text, &error);
+  ASSERT_TRUE(parsed.has_value())
+      << "line " << error.line_number << ": " << error.message;
+  // Hex-float doubles and raw integer fields reproduce the exact text —
+  // the property that makes a checkpoint a faithful state fingerprint.
+  EXPECT_EQ(SerializeCheckpoint(*parsed), text);
+  EXPECT_GT(parsed->targets.at(0).regions.size(), 0u);
+  ASSERT_EQ(parsed->schemes.size(), 1u);
+  EXPECT_GT(parsed->schemes[0].scheme.stats().nr_tried, 0u);
+}
+
+TEST(CheckpointRoundTripTest, RestoreIsIdentityOverFollowingWindows) {
+  // Two identical systems stepped in lockstep stay bit-identical (the sim
+  // is deterministic). Mid-run, B's stack is torn down and rebuilt from
+  // its own checkpoint text; if restore is lossless, A and B must remain
+  // indistinguishable for every window after it.
+  Rig a;
+  Rig b;
+  a.space.TouchRange(kBase, kBase + kHeap, true, 0);
+  b.space.TouchRange(kBase, kBase + kHeap, true, 0);
+  a.InstallOrDie(kGovernedScheme);
+  b.InstallOrDie(kGovernedScheme);
+
+  auto run_lockstep = [&](SimTimeUs until) {
+    while (a.system.Now() < until) {
+      // A shifting hot set so splits, merges, quota charging and the
+      // recorder all stay busy across the restore point.
+      if (a.system.Now() % (250 * kUsPerMs) == 0) {
+        const Addr hot =
+            kBase + (a.system.Now() / (250 * kUsPerMs) % 4) * (8 * MiB);
+        a.space.TouchRange(hot, hot + 8 * MiB, true, a.system.Now());
+        b.space.TouchRange(hot, hot + 8 * MiB, true, b.system.Now());
+      }
+      a.system.Step();
+      b.system.Step();
+    }
+  };
+
+  run_lockstep(2 * kUsPerSec);
+  const std::string at_2s_a = a.supervisor.CaptureCheckpointText();
+  const std::string at_2s_b = b.supervisor.CaptureCheckpointText();
+  ASSERT_EQ(at_2s_a, at_2s_b) << "lockstep baseline diverged";
+
+  std::string error;
+  ASSERT_TRUE(b.supervisor.RestoreFromText(at_2s_b, &error)) << error;
+  EXPECT_EQ(b.supervisor.counters().restores, 1u);
+
+  run_lockstep(4 * kUsPerSec);
+  EXPECT_EQ(a.supervisor.CaptureCheckpointText(),
+            b.supervisor.CaptureCheckpointText());
+}
+
+TEST(CheckpointRoundTripTest, RejectedRestoreLeavesRunningStackUntouched) {
+  Rig rig;
+  rig.space.TouchRange(kBase, kBase + kHeap, true, 0);
+  rig.InstallOrDie(kGovernedScheme);
+  rig.system.Run(2 * kUsPerSec);
+
+  const std::string before = rig.supervisor.CaptureCheckpointText();
+  std::string error;
+  EXPECT_FALSE(rig.supervisor.RestoreFromText("daos-checkpoint v2\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_EQ(rig.supervisor.counters().restores, 0u);
+  // Parse errors are detected before the old stack is torn down.
+  EXPECT_EQ(before, rig.supervisor.CaptureCheckpointText());
+}
+
+TEST(CheckpointRoundTripTest, TargetCountMismatchFailsRestore) {
+  lifecycle::Checkpoint cp = TinyCheckpoint();
+  cp.targets.push_back(cp.targets[0]);  // claims two targets
+  cp.sched.target_layout_gens = {1, 1};
+
+  Rig rig;  // factory creates exactly one target
+  std::string error;
+  EXPECT_FALSE(
+      rig.supervisor.RestoreFromText(SerializeCheckpoint(cp), &error));
+  EXPECT_NE(error.find("2 targets"), std::string::npos) << error;
+}
+
+}  // namespace

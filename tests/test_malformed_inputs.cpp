@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "damos/parser.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
+#include "lifecycle/checkpoint.hpp"
+#include "lifecycle/supervisor.hpp"
 #include "sim/system.hpp"
+#include "util/units.hpp"
 #include "workload/generator.hpp"
 #include "workload/profile.hpp"
 
@@ -281,6 +285,212 @@ TEST_F(MalformedDbgfsTest, MonitorOnGarbageRejected) {
   EXPECT_FALSE(fs_.Write("/damon/monitor_on", "maybe", &error));
   EXPECT_NE(error.find("expected 'on' or 'off'"), std::string::npos);
   EXPECT_FALSE(dbgfs_.monitoring());
+}
+
+// --- checkpoint text (src/lifecycle) --------------------------------------
+
+/// A minimal valid checkpoint to mutate: one target, one region.
+lifecycle::Checkpoint TinyCheckpoint() {
+  lifecycle::Checkpoint cp;
+  cp.at = 1000;
+  cp.sched.primed = true;
+  cp.sched.rng_state = {1, 2, 3, 4};
+  cp.sched.target_layout_gens = {1};
+  lifecycle::CheckpointTarget target;
+  damon::Region region;
+  region.start = 1 * GiB;
+  region.end = 1 * GiB + 2 * MiB;
+  region.sampling_addr = 1 * GiB;
+  target.regions.push_back(region);
+  cp.targets.push_back(target);
+  return cp;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size() - 1;
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(MalformedCheckpointTest, EmptyInputRejectedAtLineOne) {
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(lifecycle::ParseCheckpoint("", &error).has_value());
+  EXPECT_EQ(error.line_number, 1);
+  EXPECT_NE(error.message.find("empty checkpoint"), std::string::npos);
+}
+
+TEST(MalformedCheckpointTest, WrongMagicRejectedAtLineOne) {
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(lifecycle::ParseCheckpoint("nope v1\n", &error).has_value());
+  EXPECT_EQ(error.line_number, 1);
+  EXPECT_NE(error.message.find("not a checkpoint"), std::string::npos);
+}
+
+TEST(MalformedCheckpointTest, VersionSkewRejectedAtLineOne) {
+  std::vector<std::string> lines =
+      SplitLines(SerializeCheckpoint(TinyCheckpoint()));
+  lines[0] = "daos-checkpoint v2";
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(
+      lifecycle::ParseCheckpoint(JoinLines(lines), &error).has_value());
+  EXPECT_EQ(error.line_number, 1);
+  EXPECT_NE(error.message.find("unsupported checkpoint version v2"),
+            std::string::npos)
+      << error.message;
+}
+
+TEST(MalformedCheckpointTest, EveryTruncationRejectedWithAccurateLine) {
+  const std::vector<std::string> lines =
+      SplitLines(SerializeCheckpoint(TinyCheckpoint()));
+  ASSERT_GT(lines.size(), 5u);
+  // No prefix of a valid checkpoint is a valid checkpoint, and the error
+  // always points at (or before) the first missing line.
+  for (std::size_t keep = 0; keep < lines.size(); ++keep) {
+    const std::vector<std::string> prefix(lines.begin(),
+                                          lines.begin() + keep);
+    lifecycle::CheckpointError error;
+    EXPECT_FALSE(
+        lifecycle::ParseCheckpoint(JoinLines(prefix), &error).has_value())
+        << "prefix of " << keep << " lines parsed";
+    EXPECT_GE(error.line_number, 1) << "keep=" << keep;
+    EXPECT_LE(error.line_number, static_cast<int>(keep) + 1)
+        << "keep=" << keep;
+    EXPECT_FALSE(error.message.empty());
+  }
+}
+
+TEST(MalformedCheckpointTest, MissingEndRecordNamedExactly) {
+  std::vector<std::string> lines =
+      SplitLines(SerializeCheckpoint(TinyCheckpoint()));
+  ASSERT_EQ(lines.back(), "end");
+  lines.pop_back();
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(
+      lifecycle::ParseCheckpoint(JoinLines(lines), &error).has_value());
+  EXPECT_EQ(error.line_number, static_cast<int>(lines.size()) + 1);
+  EXPECT_NE(error.message.find("unexpected end of checkpoint"),
+            std::string::npos)
+      << error.message;
+}
+
+TEST(MalformedCheckpointTest, GarbageFieldRejectedAtItsLine) {
+  std::vector<std::string> lines =
+      SplitLines(SerializeCheckpoint(TinyCheckpoint()));
+  int region_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("region ", 0) == 0) {
+      lines[i] = lines[i].substr(0, lines[i].rfind(' ')) + " xyz";
+      region_line = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  ASSERT_GT(region_line, 0);
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(
+      lifecycle::ParseCheckpoint(JoinLines(lines), &error).has_value());
+  EXPECT_EQ(error.line_number, region_line);
+  EXPECT_NE(error.message.find("bad unsigned value 'xyz'"),
+            std::string::npos)
+      << error.message;
+}
+
+TEST(MalformedCheckpointTest, TrailingDataAfterEndRejected) {
+  const std::string text =
+      SerializeCheckpoint(TinyCheckpoint()) + "bonus record\n";
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(lifecycle::ParseCheckpoint(text, &error).has_value());
+  EXPECT_EQ(error.line_number,
+            static_cast<int>(SplitLines(text).size()));
+  EXPECT_NE(error.message.find("trailing data"), std::string::npos);
+}
+
+TEST(MalformedCheckpointTest, AllZeroRngRejected) {
+  lifecycle::Checkpoint cp = TinyCheckpoint();
+  cp.sched.rng_state = {0, 0, 0, 0};
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(
+      lifecycle::ParseCheckpoint(SerializeCheckpoint(cp), &error).has_value());
+  EXPECT_NE(error.message.find("all-zero"), std::string::npos);
+  // "rng" is the fifth record of the format.
+  EXPECT_EQ(error.line_number, 5);
+}
+
+TEST(MalformedCheckpointTest, OverflowingNumberRejected) {
+  std::vector<std::string> lines =
+      SplitLines(SerializeCheckpoint(TinyCheckpoint()));
+  lines[1] = "at 99999999999999999999999999";
+  lifecycle::CheckpointError error;
+  EXPECT_FALSE(
+      lifecycle::ParseCheckpoint(JoinLines(lines), &error).has_value());
+  EXPECT_EQ(error.line_number, 2);
+  EXPECT_NE(error.message.find("bad unsigned value"), std::string::npos);
+}
+
+// --- commit bundles (src/lifecycle) ---------------------------------------
+
+TEST(MalformedCommitBundleTest, UnknownDirectiveLineAccurate) {
+  lifecycle::KdamondSupervisor supervisor;
+  lifecycle::CommitBundle bundle;
+  std::string error;
+  EXPECT_FALSE(supervisor.ParseCommitBundle(
+      "attrs 5000 100000 1000000 10 1000\nfrobnicate x\n", &bundle, &error));
+  EXPECT_NE(error.find("line 2: unknown directive 'frobnicate'"),
+            std::string::npos)
+      << error;
+}
+
+TEST(MalformedCommitBundleTest, BadSchemeLineReported) {
+  lifecycle::KdamondSupervisor supervisor;
+  lifecycle::CommitBundle bundle;
+  std::string error;
+  EXPECT_FALSE(supervisor.ParseCommitBundle(
+      "scheme min max min min min max explode\n", &bundle, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(MalformedCommitBundleTest, EmptyBundleRejected) {
+  lifecycle::KdamondSupervisor supervisor;
+  lifecycle::CommitBundle bundle;
+  std::string error;
+  EXPECT_FALSE(
+      supervisor.ParseCommitBundle("# nothing here\n", &bundle, &error));
+  EXPECT_NE(error.find("empty commit bundle"), std::string::npos) << error;
+}
+
+TEST(MalformedCommitBundleTest, DuplicateAttrsRejected) {
+  lifecycle::KdamondSupervisor supervisor;
+  lifecycle::CommitBundle bundle;
+  std::string error;
+  EXPECT_FALSE(supervisor.ParseCommitBundle(
+      "attrs 5000 100000 1000000 10 1000\n"
+      "attrs 5000 100000 1000000 10 1000\n",
+      &bundle, &error));
+  EXPECT_NE(error.find("line 2: duplicate attrs"), std::string::npos)
+      << error;
+}
+
+TEST(MalformedCommitBundleTest, AttrsFieldCountEnforced) {
+  lifecycle::KdamondSupervisor supervisor;
+  lifecycle::CommitBundle bundle;
+  std::string error;
+  EXPECT_FALSE(
+      supervisor.ParseCommitBundle("attrs 5000 100000\n", &bundle, &error));
+  EXPECT_NE(error.find("attrs expects"), std::string::npos) << error;
 }
 
 }  // namespace
