@@ -13,6 +13,7 @@
 // justification for the deviation documented in EXPERIMENTS.md.
 #include <cstdio>
 
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/monitor.hpp"
 #include "damos/engine.hpp"
@@ -76,22 +77,29 @@ int main() {
                      "(kernel) under prcl(5s)");
   std::printf("workload: 20%% hot / 40%% warm (2 s sweep) / 40%% cold, "
               "512 MiB\n\n");
-  const Row base = Run(0, /*with_scheme=*/false);
+  // Three independent configurations — fan out, print in order.
+  struct Config {
+    const char* label;
+    std::uint32_t threshold;
+    bool with_scheme;
+  };
+  const Config configs[] = {
+      {"baseline (no scheme)", 0, false},
+      {"prcl, age resets on any change", 0, true},
+      {"prcl, kernel threshold (diff>2)", 2, true},
+  };
+  Row rows[3];
+  analysis::ParallelRunner runner;
+  runner.ForEach(3, [&](std::size_t i) {
+    rows[i] = Run(configs[i].threshold, configs[i].with_scheme);
+  });
   std::printf("%-34s %12s %14s %14s\n", "configuration", "runtime [s]",
               "avg RSS [MiB]", "major faults");
-  std::printf("%-34s %12.2f %14.1f %14llu\n", "baseline (no scheme)",
-              base.runtime_s, base.avg_rss_mib,
-              static_cast<unsigned long long>(base.major_faults));
-  const Row ours = Run(0, true);
-  std::printf("%-34s %12.2f %14.1f %14llu\n",
-              "prcl, age resets on any change", ours.runtime_s,
-              ours.avg_rss_mib,
-              static_cast<unsigned long long>(ours.major_faults));
-  const Row kernel = Run(2, true);
-  std::printf("%-34s %12.2f %14.1f %14llu\n",
-              "prcl, kernel threshold (diff>2)", kernel.runtime_s,
-              kernel.avg_rss_mib,
-              static_cast<unsigned long long>(kernel.major_faults));
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::printf("%-34s %12.2f %14.1f %14llu\n", configs[i].label,
+                rows[i].runtime_s, rows[i].avg_rss_mib,
+                static_cast<unsigned long long>(rows[i].major_faults));
+  }
   std::printf(
       "\nExpected shape: under the kernel rule the warm sweep keeps aging "
       "through its 0->1 blips, gets reclaimed, and refaults every pass — "

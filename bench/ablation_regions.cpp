@@ -10,7 +10,9 @@
 // Accuracy metric: working-set-size estimate vs ground truth (the hot
 // set); overhead metric: monitor CPU time.
 #include <cstdio>
+#include <vector>
 
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/monitor.hpp"
 #include "damon/recorder.hpp"
@@ -128,19 +130,32 @@ int main() {
               FormatSize(HotspotProfile().data_bytes).c_str());
   std::printf("%-36s %14s %12s %10s\n", "configuration", "WSS error [%]",
               "CPU [%core]", "regions");
-  for (std::uint32_t cap : {20u, 100u, 1000u}) {
-    const Row r = RunDaos(cap, /*adaptive=*/true);
-    std::printf("%-36s %14.1f %12.3f %10u\n", r.label.c_str(),
-                r.wss_error_pct, r.cpu_pct, r.regions);
+  // Five DAOS configurations plus the full scan, all independent systems —
+  // fan out, then print collected rows in submission order.
+  struct Cfg {
+    std::uint32_t cap;
+    bool adaptive;
+    bool full_scan;
+  };
+  const std::vector<Cfg> cfgs = {
+      {20, true, false},  {100, true, false},  {1000, true, false},
+      {100, false, false}, {1000, false, false}, {0, false, true},
+  };
+  std::vector<Row> rows(cfgs.size());
+  analysis::ParallelRunner runner;
+  runner.ForEach(cfgs.size(), [&](std::size_t i) {
+    rows[i] = cfgs[i].full_scan ? RunFullScan()
+                                : RunDaos(cfgs[i].cap, cfgs[i].adaptive);
+  });
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (cfgs[i].full_scan) {
+      std::printf("%-36s %14.1f %12.3f %10s\n", rows[i].label.c_str(),
+                  rows[i].wss_error_pct, rows[i].cpu_pct, "per-page");
+    } else {
+      std::printf("%-36s %14.1f %12.3f %10u\n", rows[i].label.c_str(),
+                  rows[i].wss_error_pct, rows[i].cpu_pct, rows[i].regions);
+    }
   }
-  for (std::uint32_t cap : {100u, 1000u}) {
-    const Row r = RunDaos(cap, /*adaptive=*/false);
-    std::printf("%-36s %14.1f %12.3f %10u\n", r.label.c_str(),
-                r.wss_error_pct, r.cpu_pct, r.regions);
-  }
-  const Row scan = RunFullScan();
-  std::printf("%-36s %14.1f %12.3f %10s\n", scan.label.c_str(),
-              scan.wss_error_pct, scan.cpu_pct, "per-page");
   std::printf(
       "\nExpected shape: adaptive DAOS reaches near-scan accuracy at a "
       "fraction of the CPU cost; static space sampling needs far more "

@@ -6,7 +6,10 @@
 // sweeps the sampling interval and reports monitoring overhead and the
 // quality of the recency signal (how quickly prcl finds the idle tail).
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/monitor.hpp"
 #include "damos/engine.hpp"
@@ -30,7 +33,7 @@ workload::WorkloadProfile Profile() {
   return p;
 }
 
-void RunOne(SimTimeUs sampling) {
+std::string RunOne(SimTimeUs sampling) {
   const workload::WorkloadProfile p = Profile();
   sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
                      sim::SwapConfig::Zram(), sim::ThpMode::kNever,
@@ -56,11 +59,13 @@ void RunOne(SimTimeUs sampling) {
   const double idle_bytes = 0.8 * static_cast<double>(p.data_bytes);
   const double reclaimed =
       static_cast<double>(engine.schemes()[0].stats().sz_applied);
-  std::printf("%12s %16.3f %14.1f %16.2f %12.2f\n",
-              FormatDuration(sampling).c_str(),
-              100.0 * ctx.CpuFraction(system.Now()),
-              std::min(100.0, 100.0 * reclaimed / idle_bytes), pm.runtime_s,
-              pm.avg_rss_bytes / static_cast<double>(MiB));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%12s %16.3f %14.1f %16.2f %12.2f\n",
+                FormatDuration(sampling).c_str(),
+                100.0 * ctx.CpuFraction(system.Now()),
+                std::min(100.0, 100.0 * reclaimed / idle_bytes), pm.runtime_s,
+                pm.avg_rss_bytes / static_cast<double>(MiB));
+  return buf;
 }
 
 }  // namespace
@@ -70,11 +75,16 @@ int main() {
                      "overhead vs recency quality (prcl on 80% idle data)");
   std::printf("%12s %16s %14s %16s %12s\n", "sampling", "monitorCPU[%]",
               "idle found[%]", "runtime [s]", "avg RSS [MiB]");
-  for (SimTimeUs sampling :
-       {1 * kUsPerMs, 5 * kUsPerMs, 20 * kUsPerMs, 100 * kUsPerMs,
-        1 * kUsPerSec, 10 * kUsPerSec}) {
-    RunOne(sampling);
-  }
+  // The six interval points are independent systems — fan out, print the
+  // collected rows in sweep order.
+  const std::vector<SimTimeUs> intervals = {
+      1 * kUsPerMs, 5 * kUsPerMs, 20 * kUsPerMs, 100 * kUsPerMs,
+      1 * kUsPerSec, 10 * kUsPerSec};
+  std::vector<std::string> lines(intervals.size());
+  analysis::ParallelRunner runner;
+  runner.ForEach(intervals.size(),
+                 [&](std::size_t i) { lines[i] = RunOne(intervals[i]); });
+  for (const std::string& line : lines) std::printf("%s", line.c_str());
   std::printf(
       "\nExpected shape: finer sampling costs more monitor CPU; very coarse "
       "sampling (toward the 2-minute interval prior work was forced into) "

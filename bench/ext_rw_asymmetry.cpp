@@ -7,7 +7,10 @@
 // traffic that an asymmetric device would charge. This motivates the
 // future write-awareness the paper defers.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/monitor.hpp"
 #include "damos/engine.hpp"
@@ -32,8 +35,8 @@ workload::WorkloadProfile Profile(double write_frac) {
   return p;
 }
 
-void RunOne(const char* backend, const sim::SwapConfig& swap,
-            double write_frac) {
+std::string RunOne(const char* backend, const sim::SwapConfig& swap,
+                   double write_frac) {
   const workload::WorkloadProfile p = Profile(write_frac);
   sim::System system(sim::MachineSpec::I3Metal().GuestOf(), swap,
                      sim::ThpMode::kNever, 5 * kUsPerMs);
@@ -56,11 +59,13 @@ void RunOne(const char* backend, const sim::SwapConfig& swap,
   const double writeback_s = static_cast<double>(dirty) *
                              static_cast<double>(swap.page_out_us) /
                              kUsPerSec;
-  std::printf("%-8s %-16s %10.2f %12.1f %12llu %12llu %14.2f\n", backend,
-              p.name.c_str(), pm.runtime_s,
-              pm.avg_rss_bytes / static_cast<double>(MiB),
-              static_cast<unsigned long long>(dirty),
-              static_cast<unsigned long long>(clean), writeback_s);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-8s %-16s %10.2f %12.1f %12llu %12llu "
+                "%14.2f\n", backend, p.name.c_str(), pm.runtime_s,
+                pm.avg_rss_bytes / static_cast<double>(MiB),
+                static_cast<unsigned long long>(dirty),
+                static_cast<unsigned long long>(clean), writeback_s);
+  return buf;
 }
 
 }  // namespace
@@ -72,11 +77,26 @@ int main() {
   std::printf("%-8s %-16s %10s %12s %12s %12s %14s\n", "backend", "workload",
               "runtime", "RSS [MiB]", "dirty-evict", "clean-evict",
               "writeback [s]");
+  // 2 workloads x 3 backends = 6 independent cells; fan them out and print
+  // the collected rows in submission order.
+  struct Combo {
+    const char* backend;
+    sim::SwapConfig swap;
+    double write_frac;
+  };
+  std::vector<Combo> combos;
   for (double wf : {0.1, 0.8}) {
-    RunOne("zram", sim::SwapConfig::Zram(), wf);
-    RunOne("file", sim::SwapConfig::File(), wf);
-    RunOne("nvm", sim::SwapConfig::Nvm(), wf);
+    combos.push_back({"zram", sim::SwapConfig::Zram(), wf});
+    combos.push_back({"file", sim::SwapConfig::File(), wf});
+    combos.push_back({"nvm", sim::SwapConfig::Nvm(), wf});
   }
+  std::vector<std::string> lines(combos.size());
+  analysis::ParallelRunner runner;
+  runner.ForEach(combos.size(), [&](std::size_t i) {
+    lines[i] = RunOne(combos[i].backend, combos[i].swap,
+                      combos[i].write_frac);
+  });
+  for (const std::string& line : lines) std::printf("%s", line.c_str());
   std::printf(
       "\nExpected shape: on NVM the write-back column dominates for the "
       "write-heavy workload (writes are 5x reads there), while reads stay "

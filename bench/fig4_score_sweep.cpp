@@ -12,6 +12,7 @@
 
 #include "analysis/patterns.hpp"
 #include "analysis/report.hpp"
+#include "analysis/runner.hpp"
 #include "autotune/score.hpp"
 #include "bench/common.hpp"
 #include "util/units.hpp"
@@ -55,21 +56,42 @@ int main() {
       std::printf("  score.%c  sd.%c", host.name[0], host.name[0]);
     std::printf("\n");
 
-    // scores[host][age_index] = mean score over repeats.
-    std::map<std::string, std::vector<double>> mean_scores;
+    // One grid per workload: host x repeat x (baseline + one run per
+    // min_age), all independent — submitted as a single batch so the
+    // runner can spread the whole sweep over DAOS_JOBS workers. Results
+    // come back in submission order, so the layout below is positional.
+    analysis::ParallelRunner runner;
+    std::vector<analysis::RunSpec> specs;
     for (const auto& host : hosts) {
       analysis::ExperimentOptions opt = bench::DefaultOptions();
       opt.host = host;
-
-      std::vector<std::vector<double>> per_age(ages.size());
       for (int rep = 0; rep < repeats; ++rep) {
         opt.seed = 100 * rep + 1;
-        const auto base = analysis::RunWorkload(
-            profile, analysis::Config::kBaseline, opt);
+        analysis::RunSpec base;
+        base.profile = profile;
+        base.options = opt;
+        specs.push_back(base);
+        for (const SimTimeUs age : ages) {
+          analysis::RunSpec s;
+          s.profile = profile;
+          s.config = analysis::Config::kSchemes;
+          s.options = opt;
+          s.schemes = analysis::PrclSchemes(age);
+          specs.push_back(s);
+        }
+      }
+    }
+    const auto results = runner.Run(specs);
+
+    // scores[host][age_index] = mean score over repeats.
+    std::map<std::string, std::vector<double>> mean_scores;
+    std::size_t next = 0;
+    for (const auto& host : hosts) {
+      std::vector<std::vector<double>> per_age(ages.size());
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto& base = results[next++];
         for (std::size_t i = 0; i < ages.size(); ++i) {
-          const auto schemes = analysis::PrclSchemes(ages[i]);
-          const auto run = analysis::RunWorkload(
-              profile, analysis::Config::kSchemes, opt, &schemes);
+          const auto& run = results[next++];
           per_age[i].push_back(autotune::RawScore(
               {run.runtime_s, run.avg_rss_bytes},
               {base.runtime_s, base.avg_rss_bytes}));

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/runner.hpp"
 #include "autotune/tuner.hpp"
 #include "bench/common.hpp"
 
@@ -30,18 +31,42 @@ int main() {
   };
 
   // Measured line: second-granularity in full mode, 5 s steps otherwise.
+  // Every point is an independent run — submit baseline + all points as
+  // one ParallelRunner grid (the tuner below stays sequential: each of its
+  // trials depends on the previous sample).
   const int step = bench::FullMode() ? 1 : 5;
-  const auto baseline = trial(nullptr);
+  analysis::ParallelRunner runner;
+  std::vector<analysis::RunSpec> specs;
+  {
+    analysis::RunSpec base;
+    base.profile = profile;
+    base.options = opt;
+    specs.push_back(base);
+  }
+  std::vector<int> points;
+  for (int s = 0; s <= 60; s += step) {
+    points.push_back(s);
+    analysis::RunSpec spec;
+    spec.profile = profile;
+    spec.config = analysis::Config::kSchemes;
+    spec.options = opt;
+    spec.options.seed = 1000 + s;  // fresh noise per measurement point
+    spec.schemes =
+        std::vector<damos::Scheme>{damos::Scheme::Prcl(s * kUsPerSec)};
+    specs.push_back(spec);
+  }
+  const auto measured = runner.Run(specs);
+  const autotune::TrialMeasurement baseline{measured[0].runtime_s,
+                                            measured[0].avg_rss_bytes};
   std::printf("%-10s %10s\n", "min_age", "measured");
   std::vector<double> xs, ys;
   autotune::DefaultScoreFunction measured_score;
-  for (int s = 0; s <= 60; s += step) {
-    opt.seed = 1000 + s;  // fresh noise per measurement point
-    damos::Scheme scheme = damos::Scheme::Prcl(s * kUsPerSec);
-    const auto m = trial(&scheme);
-    const double score = measured_score.Score(m, baseline);
-    std::printf("%9ds %10.2f\n", s, score);
-    xs.push_back(s);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = measured[i + 1];
+    const double score =
+        measured_score.Score({r.runtime_s, r.avg_rss_bytes}, baseline);
+    std::printf("%9ds %10.2f\n", points[i], score);
+    xs.push_back(points[i]);
     ys.push_back(score);
   }
 

@@ -6,8 +6,10 @@
 // ASCII heatmap: rows = time, columns = address, darkness = access
 // frequency.
 #include <cstdio>
+#include <deque>
 
 #include "analysis/heatmap.hpp"
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/recorder.hpp"
 #include "util/units.hpp"
@@ -17,15 +19,27 @@ int main() {
   bench::PrintHeader("Figure 6", "access-pattern heatmaps (rec)");
 
   const auto names = bench::BenchWorkloads(bench::FullMode() ? 16 : 6);
-  for (const std::string& name : names) {
-    const workload::WorkloadProfile profile =
-        bench::CapSize(*workload::FindProfile(name));
-    analysis::ExperimentOptions opt = bench::DefaultOptions();
-    opt.apply_runtime_noise = false;
 
-    damon::Recorder recorder;
-    const auto run = analysis::RunWorkload(profile, analysis::Config::kRec,
-                                           opt, nullptr, &recorder);
+  // One run per workload, each with a private Recorder (deque: stable
+  // addresses while specs are built) — independent, so the whole figure is
+  // one ParallelRunner grid. Rendering happens afterwards in order.
+  analysis::ParallelRunner runner;
+  std::deque<damon::Recorder> recorders;
+  std::vector<analysis::RunSpec> specs;
+  for (const std::string& name : names) {
+    analysis::RunSpec spec;
+    spec.profile = bench::CapSize(*workload::FindProfile(name));
+    spec.config = analysis::Config::kRec;
+    spec.options = bench::DefaultOptions();
+    spec.options.apply_runtime_noise = false;
+    spec.recorder = &recorders.emplace_back();
+    specs.push_back(spec);
+  }
+  const auto results = runner.Run(specs);
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& run = results[i];
+    const damon::Recorder& recorder = recorders[i];
 
     const analysis::AddrSpan span =
         analysis::FindActiveSubspace(recorder.snapshots(), 0);
@@ -34,7 +48,7 @@ int main() {
                                /*addr_bins=*/72, span);
 
     std::printf("--- %s  runtime %.1fs  subspace [%s..%s] (%s)\n",
-                name.c_str(), run.runtime_s,
+                names[i].c_str(), run.runtime_s,
                 FormatSize(span.lo).c_str(), FormatSize(span.hi).c_str(),
                 FormatSize(span.hi - span.lo).c_str());
     std::printf("%s", analysis::RenderAscii(map).c_str());

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "util/stats.hpp"
 
@@ -34,16 +35,33 @@ int main() {
   RunningStats rec_cpu, prec_cpu;
   double worst_rec_perf = 2.0, worst_prec_perf = 2.0;
 
+  // The whole figure is one grid: per workload a baseline plus one run per
+  // config, every run independent — submit it in one batch and let the
+  // runner fan it out over DAOS_JOBS workers.
+  analysis::ParallelRunner runner;
+  std::vector<analysis::RunSpec> specs;
   for (const std::string& name : names) {
     const workload::WorkloadProfile profile =
         bench::CapSize(*workload::FindProfile(name));
-    analysis::ExperimentOptions opt = bench::DefaultOptions();
-    const auto base =
-        analysis::RunWorkload(profile, analysis::Config::kBaseline, opt);
+    analysis::RunSpec base;
+    base.profile = profile;
+    base.options = bench::DefaultOptions();
+    specs.push_back(base);
+    for (analysis::Config config : configs) {
+      analysis::RunSpec s = base;
+      s.config = config;
+      specs.push_back(s);
+    }
+  }
+  const auto results = runner.Run(specs);
+
+  std::size_t next = 0;
+  for (const std::string& name : names) {
+    const auto& base = results[next++];
 
     std::map<analysis::Config, analysis::NormalizedResult> rows;
     for (analysis::Config config : configs) {
-      const auto run = analysis::RunWorkload(profile, config, opt);
+      const auto& run = results[next++];
       rows[config] = analysis::Normalize(run, base);
       perf_stats[config].Add(rows[config].performance);
       mem_stats[config].Add(rows[config].memory_efficiency);

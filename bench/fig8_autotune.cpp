@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "analysis/runner.hpp"
 #include "autotune/tuner.hpp"
 #include "bench/common.hpp"
 #include "util/stats.hpp"
@@ -26,68 +27,88 @@ int main() {
   };
   std::vector<Agg> agg(hosts.size());
 
+  // Each (workload, machine) cell — baseline, manual run, tuner loop,
+  // tuned run — is self-contained; the tuner's trials inside a cell are
+  // inherently sequential (each sample depends on the previous score) but
+  // the cells themselves fan out over DAOS_JOBS workers. Results land in
+  // per-cell slots; aggregation and printing stay in submission order.
+  struct Cell {
+    std::size_t name_idx, host_idx;
+    double man_perf = 0, aut_perf = 0, man_mem = 0, aut_mem = 0;
+    double man_score = 0, aut_score = 0;
+    double tuned_min_age_s = 0;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t n = 0; n < names.size(); ++n)
+    for (std::size_t h = 0; h < hosts.size(); ++h) cells.push_back({n, h});
+
+  analysis::ParallelRunner runner;
+  runner.ForEach(cells.size(), [&](std::size_t i) {
+    Cell& cell = cells[i];
+    const workload::WorkloadProfile profile =
+        bench::CapSize(*workload::FindProfile(names[cell.name_idx]));
+    const std::size_t h = cell.host_idx;
+    analysis::ExperimentOptions opt = bench::DefaultOptions();
+    opt.host = hosts[h];
+
+    const auto base =
+        analysis::RunWorkload(profile, analysis::Config::kBaseline, opt);
+    auto trial = [&](const damos::Scheme* scheme)
+        -> autotune::TrialMeasurement {
+      if (scheme == nullptr) return {base.runtime_s, base.avg_rss_bytes};
+      const std::vector<damos::Scheme> schemes{*scheme};
+      const auto r = analysis::RunWorkload(
+          profile, analysis::Config::kSchemes, opt, &schemes);
+      return {r.runtime_s, r.avg_rss_bytes};
+    };
+
+    // Manual: Listing-3 prcl, 5 s.
+    damos::Scheme manual = damos::Scheme::Prcl(5 * kUsPerSec);
+    const autotune::TrialMeasurement man = trial(&manual);
+
+    // Auto: tune min_age over 0..60 s with 10 samples.
+    autotune::TunerConfig cfg;
+    cfg.nr_samples = 10;
+    cfg.min_age_lo = 0;
+    cfg.min_age_hi = 60 * kUsPerSec;
+    cfg.seed = 13 + h;
+    autotune::AutoTuner tuner(cfg);
+    const autotune::TunerResult tuned =
+        tuner.Tune(damos::Scheme::Prcl(), trial);
+    const autotune::TrialMeasurement aut = trial(&tuned.tuned);
+
+    const autotune::TrialMeasurement bl{base.runtime_s, base.avg_rss_bytes};
+    cell.man_perf = bl.runtime_s / man.runtime_s;
+    cell.aut_perf = bl.runtime_s / aut.runtime_s;
+    cell.man_mem = bl.rss_bytes / man.rss_bytes;
+    cell.aut_mem = bl.rss_bytes / aut.rss_bytes;
+    // Scores via the paper's Listing-2 function: SLA violations (>10 %
+    // performance drop) are penalized, which is exactly what the manual
+    // scheme suffers on mistuned workloads.
+    autotune::DefaultScoreFunction man_fn, aut_fn;
+    cell.man_score = man_fn.Score(man, bl);
+    cell.aut_score = aut_fn.Score(aut, bl);
+    cell.tuned_min_age_s =
+        static_cast<double>(tuned.best_min_age) / kUsPerSec;
+  });
+
   std::printf("%-26s %-10s %10s %10s %10s %10s %10s %10s\n", "workload",
               "machine", "man.perf", "auto.perf", "man.mem", "auto.mem",
               "man.score", "auto.score");
+  for (const Cell& cell : cells) {
+    const std::size_t h = cell.host_idx;
+    agg[h].man_perf.Add(cell.man_perf);
+    agg[h].auto_perf.Add(cell.aut_perf);
+    agg[h].man_mem.Add(cell.man_mem);
+    agg[h].auto_mem.Add(cell.aut_mem);
+    agg[h].man_score.Add(cell.man_score);
+    agg[h].auto_score.Add(cell.aut_score);
 
-  for (const std::string& name : names) {
-    const workload::WorkloadProfile profile =
-        bench::CapSize(*workload::FindProfile(name));
-    for (std::size_t h = 0; h < hosts.size(); ++h) {
-      analysis::ExperimentOptions opt = bench::DefaultOptions();
-      opt.host = hosts[h];
-
-      const auto base =
-          analysis::RunWorkload(profile, analysis::Config::kBaseline, opt);
-      auto trial = [&](const damos::Scheme* scheme)
-          -> autotune::TrialMeasurement {
-        if (scheme == nullptr) return {base.runtime_s, base.avg_rss_bytes};
-        const std::vector<damos::Scheme> schemes{*scheme};
-        const auto r = analysis::RunWorkload(
-            profile, analysis::Config::kSchemes, opt, &schemes);
-        return {r.runtime_s, r.avg_rss_bytes};
-      };
-
-      // Manual: Listing-3 prcl, 5 s.
-      damos::Scheme manual = damos::Scheme::Prcl(5 * kUsPerSec);
-      const autotune::TrialMeasurement man = trial(&manual);
-
-      // Auto: tune min_age over 0..60 s with 10 samples.
-      autotune::TunerConfig cfg;
-      cfg.nr_samples = 10;
-      cfg.min_age_lo = 0;
-      cfg.min_age_hi = 60 * kUsPerSec;
-      cfg.seed = 13 + h;
-      autotune::AutoTuner tuner(cfg);
-      const autotune::TunerResult tuned =
-          tuner.Tune(damos::Scheme::Prcl(), trial);
-      const autotune::TrialMeasurement aut = trial(&tuned.tuned);
-
-      const autotune::TrialMeasurement bl{base.runtime_s, base.avg_rss_bytes};
-      const double man_perf = bl.runtime_s / man.runtime_s;
-      const double aut_perf = bl.runtime_s / aut.runtime_s;
-      const double man_mem = bl.rss_bytes / man.rss_bytes;
-      const double aut_mem = bl.rss_bytes / aut.rss_bytes;
-      // Scores via the paper's Listing-2 function: SLA violations (>10 %
-      // performance drop) are penalized, which is exactly what the manual
-      // scheme suffers on mistuned workloads.
-      autotune::DefaultScoreFunction man_fn, aut_fn;
-      const double man_score = man_fn.Score(man, bl);
-      const double aut_score = aut_fn.Score(aut, bl);
-
-      agg[h].man_perf.Add(man_perf);
-      agg[h].auto_perf.Add(aut_perf);
-      agg[h].man_mem.Add(man_mem);
-      agg[h].auto_mem.Add(aut_mem);
-      agg[h].man_score.Add(man_score);
-      agg[h].auto_score.Add(aut_score);
-
-      std::printf("%-26s %-10s %10.3f %10.3f %10.3f %10.3f %10.2f %10.2f"
-                  "   (tuned min_age %.0fs)\n",
-                  name.c_str(), hosts[h].name.c_str(), man_perf, aut_perf,
-                  man_mem, aut_mem, man_score, aut_score,
-                  static_cast<double>(tuned.best_min_age) / kUsPerSec);
-    }
+    std::printf("%-26s %-10s %10.3f %10.3f %10.3f %10.3f %10.2f %10.2f"
+                "   (tuned min_age %.0fs)\n",
+                names[cell.name_idx].c_str(), hosts[h].name.c_str(),
+                cell.man_perf, cell.aut_perf, cell.man_mem, cell.aut_mem,
+                cell.man_score, cell.aut_score, cell.tuned_min_age_s);
   }
 
   std::printf("\naverages per machine:\n");

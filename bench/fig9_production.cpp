@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/monitor.hpp"
 #include "damos/engine.hpp"
@@ -15,7 +16,12 @@ namespace {
 
 using namespace daos;
 
-double RunFleet(const sim::SwapConfig& swap, bool enable_scheme) {
+struct FleetResult {
+  double normalized_rss = 0.0;
+  double monitor_cpu = 0.0;
+};
+
+FleetResult RunFleet(const sim::SwapConfig& swap, bool enable_scheme) {
   workload::ServerlessConfig config;
   config.nr_processes = bench::FullMode() ? 8 : 4;
   config.rss_per_process = bench::FullMode() ? 2 * GiB : 512 * MiB;
@@ -58,9 +64,8 @@ double RunFleet(const sim::SwapConfig& swap, bool enable_scheme) {
     total_rss += static_cast<double>(server->ReadRssBytes());
   const double total_orig = static_cast<double>(config.nr_processes) *
                             static_cast<double>(config.rss_per_process);
-  std::printf("  monitor CPU: %.2f%% of one core\n",
-              enable_scheme ? 100.0 * ctx.CpuFraction(system.Now()) : 0.0);
-  return total_rss / total_orig;
+  return {total_rss / total_orig,
+          enable_scheme ? ctx.CpuFraction(system.Now()) : 0.0};
 }
 
 }  // namespace
@@ -70,23 +75,38 @@ int main() {
                      "serverless production system: normalized RSS per "
                      "swap backend");
 
-  std::printf("No Swap:\n");
-  const double none = RunFleet(sim::SwapConfig::None(), true);
-  std::printf("File Swap:\n");
-  const double file = RunFleet(sim::SwapConfig::File(256 * GiB), true);
-  std::printf("ZRAM:\n");
-  // The 4 GiB zram of the baseline config limits how deep the trim can go.
-  const double zram = RunFleet(
-      sim::SwapConfig::Zram(bench::FullMode() ? 4 * GiB : 512 * MiB), true);
+  // The three backends are independent fleets; run them concurrently and
+  // report in order once all are done.
+  struct Backend {
+    const char* name;
+    sim::SwapConfig swap;
+  };
+  const std::vector<Backend> backends = {
+      {"No Swap", sim::SwapConfig::None()},
+      {"File Swap", sim::SwapConfig::File(256 * GiB)},
+      // The 4 GiB zram of the baseline config limits how deep the trim
+      // can go.
+      {"ZRAM",
+       sim::SwapConfig::Zram(bench::FullMode() ? 4 * GiB : 512 * MiB)},
+  };
+  std::vector<FleetResult> results(backends.size());
+  analysis::ParallelRunner runner;
+  runner.ForEach(backends.size(), [&](std::size_t i) {
+    results[i] = RunFleet(backends[i].swap, true);
+  });
+
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    std::printf("%s:\n  monitor CPU: %.2f%% of one core\n",
+                backends[i].name, 100.0 * results[i].monitor_cpu);
+  }
 
   std::printf("\n%-12s %16s %18s\n", "backend", "normalized RSS",
               "memory trimmed");
-  std::printf("%-12s %16.3f %17.1f%%\n", "No Swap", none,
-              100.0 * (1.0 - none));
-  std::printf("%-12s %16.3f %17.1f%%\n", "File Swap", file,
-              100.0 * (1.0 - file));
-  std::printf("%-12s %16.3f %17.1f%%\n", "ZRAM", zram,
-              100.0 * (1.0 - zram));
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    std::printf("%-12s %16.3f %17.1f%%\n", backends[i].name,
+                results[i].normalized_rss,
+                100.0 * (1.0 - results[i].normalized_rss));
+  }
   std::printf("\n(paper: no-swap ~1.0, zram trims ~80%%, file swap ~90%%, "
               "at <=2%% CPU overhead)\n");
   return 0;

@@ -1,0 +1,198 @@
+// Runner micro-bench: what does the parallel experiment runner buy, and
+// does it change the results?
+//
+// Runs a 16-run grid (4 configs x 4 seeds of a small workload) through
+// ParallelRunner at 1, 2, and N worker threads (N = DAOS_JOBS or the
+// hardware concurrency), records the wall-clock speedup, and verifies the
+// results are bit-identical across thread counts — the determinism
+// contract the test suite also asserts.
+//
+// Results append a machine-readable entry to BENCH_runner.json in the
+// working directory (same trajectory-array schema as BENCH_governor.json).
+//
+// Build & run:  ./build/bench/micro_runner
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "bench/common.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace daos;
+
+workload::WorkloadProfile GridProfile() {
+  workload::WorkloadProfile p;
+  p.name = "micro/runner";
+  p.suite = "bench";
+  p.data_bytes = 128 * MiB;
+  p.runtime_s = 10;
+  p.noise = 0.0;
+  p.thp_gain = 0.15;
+  p.groups = {
+      workload::GroupSpec{0.30, 0.0, 1.0, 0.3},
+      workload::GroupSpec{0.20, 3.0, 1.0, 0.3},
+      workload::GroupSpec{0.50, -1.0, 0.6, 0.2},
+  };
+  p.zipf_touches_per_s = 8000;
+  return p;
+}
+
+std::vector<analysis::RunSpec> BuildGrid() {
+  const workload::WorkloadProfile profile = GridProfile();
+  const analysis::Config configs[] = {
+      analysis::Config::kBaseline, analysis::Config::kRec,
+      analysis::Config::kEthp, analysis::Config::kPrcl};
+  std::vector<analysis::RunSpec> specs;
+  for (const analysis::Config config : configs) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      analysis::RunSpec spec;
+      spec.profile = profile;
+      spec.config = config;
+      spec.options.max_time = 120 * kUsPerSec;
+      spec.options.apply_runtime_noise = false;
+      spec.options.seed = seed;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+bool Identical(const analysis::ExperimentResult& a,
+               const analysis::ExperimentResult& b) {
+  if (a.runtime_s != b.runtime_s || a.finished != b.finished ||
+      a.avg_rss_bytes != b.avg_rss_bytes ||
+      a.peak_rss_bytes != b.peak_rss_bytes ||
+      a.major_faults != b.major_faults ||
+      a.monitor_cpu_fraction != b.monitor_cpu_fraction ||
+      a.interference_s != b.interference_s) {
+    return false;
+  }
+  if (a.scheme_stats.size() != b.scheme_stats.size()) return false;
+  for (std::size_t i = 0; i < a.scheme_stats.size(); ++i) {
+    if (a.scheme_stats[i].nr_tried != b.scheme_stats[i].nr_tried ||
+        a.scheme_stats[i].sz_tried != b.scheme_stats[i].sz_tried ||
+        a.scheme_stats[i].nr_applied != b.scheme_stats[i].nr_applied ||
+        a.scheme_stats[i].sz_applied != b.scheme_stats[i].sz_applied) {
+      return false;
+    }
+  }
+  const auto& sa = a.telemetry.samples();
+  const auto& sb = b.telemetry.samples();
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].name != sb[i].name || sa[i].value != sb[i].value ||
+        sa[i].count != sb[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Level {
+  unsigned jobs = 0;
+  double wall_s = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+void AppendJson(std::size_t grid_runs, const std::vector<Level>& levels) {
+  // The trajectory file is a JSON array; append by rewriting the closing
+  // bracket. A missing/empty file starts a fresh array.
+  const char* path = "BENCH_runner.json";
+  std::string existing;
+  if (std::FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      existing.append(buf, n);
+    std::fclose(f);
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' '))
+    existing.pop_back();
+  std::string out;
+  if (existing.size() > 1 && existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' '))
+      existing.pop_back();
+    out = existing + ",\n";
+  } else {
+    out = "[\n";
+  }
+  out += "  {\"bench\": \"micro_runner\", \"grid_runs\": " +
+         std::to_string(grid_runs) + ", \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"jobs\": %u, \"wall_s\": %.3f, \"speedup\": %.2f, "
+                  "\"identical\": %s}",
+                  levels[i].jobs, levels[i].wall_s, levels[i].speedup,
+                  levels[i].identical ? "true" : "false");
+    out += buf;
+    out += (i + 1 < levels.size()) ? ",\n" : "\n";
+  }
+  out += "  ]}\n]\n";
+  if (std::FILE* f = std::fopen(path, "wb")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\ntrajectory entry appended to %s\n", path);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("micro_runner",
+                     "parallel runner wall-clock speedup and determinism");
+
+  const std::vector<analysis::RunSpec> specs = BuildGrid();
+  const unsigned n = std::max(analysis::ParallelRunner::JobsFromEnv(), 1u);
+  std::vector<unsigned> counts = {1, 2};
+  if (std::find(counts.begin(), counts.end(), n) == counts.end())
+    counts.push_back(n);
+  std::printf("grid: %zu runs (4 configs x 4 seeds, 128 MiB / 10 s each); "
+              "thread counts:", specs.size());
+  for (unsigned c : counts) std::printf(" %u", c);
+  std::printf("\n\n");
+
+  std::vector<analysis::ExperimentResult> reference;
+  std::vector<Level> levels;
+  std::printf("%6s %10s %9s %10s\n", "jobs", "wall [s]", "speedup",
+              "identical");
+  for (const unsigned jobs : counts) {
+    analysis::ParallelRunner runner(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = runner.Run(specs);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Level level;
+    level.jobs = jobs;
+    level.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    if (reference.empty()) {
+      reference = std::move(results);
+      level.speedup = 1.0;
+    } else {
+      level.speedup = levels.front().wall_s / level.wall_s;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!Identical(reference[i], results[i])) level.identical = false;
+      }
+    }
+    std::printf("%6u %10.2f %8.2fx %10s\n", level.jobs, level.wall_s,
+                level.speedup, level.identical ? "yes" : "NO");
+    levels.push_back(level);
+  }
+
+  bool all_identical = true;
+  for (const Level& level : levels) all_identical &= level.identical;
+  std::printf("\nresults across thread counts: %s\n",
+              all_identical ? "bit-identical" : "MISMATCH (bug!)");
+
+  AppendJson(specs.size(), levels);
+  return all_identical ? 0 : 1;
+}

@@ -4,7 +4,9 @@
 // workload's idle memory and reports what the action did — demonstrating
 // WILLNEED, COLD, PAGEOUT, HUGEPAGE, NOHUGEPAGE and STAT end to end.
 #include <cstdio>
+#include <string>
 
+#include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "damon/monitor.hpp"
 #include "damos/engine.hpp"
@@ -22,7 +24,7 @@ struct ActionRow {
   const char* description;
 };
 
-void RunAction(const ActionRow& row) {
+std::string RunAction(const ActionRow& row) {
   // Fresh system per action: one process with a 40 % hot / 60 % cold split.
   workload::WorkloadProfile p;
   p.name = "table1/synthetic";
@@ -44,8 +46,7 @@ void RunAction(const ActionRow& row) {
   damos::SchemesEngine engine;
   std::vector<std::string> errors;
   if (!engine.InstallFromText(row.scheme_line, &errors)) {
-    std::printf("  PARSE ERROR: %s\n", errors.front().c_str());
-    return;
+    return "  PARSE ERROR: " + errors.front() + "\n";
   }
   engine.Attach(ctx);
   system.RegisterDaemon(
@@ -54,17 +55,24 @@ void RunAction(const ActionRow& row) {
   system.Run(10 * kUsPerSec);
 
   const damos::SchemeStats& st = engine.schemes()[0].stats();
-  std::printf("  %-52s %s\n", row.scheme_line, row.description);
-  std::printf("    -> tried %llu regions (%s), applied %llu regions (%s); "
-              "RSS now %s, swapped %s, huge blocks %llu, deactivated+%s\n",
-              static_cast<unsigned long long>(st.nr_tried),
-              FormatSize(st.sz_tried).c_str(),
-              static_cast<unsigned long long>(st.nr_applied),
-              FormatSize(st.sz_applied).c_str(),
-              FormatSize(proc.space().resident_bytes()).c_str(),
-              FormatSize(proc.space().swapped_pages() * kPageSize).c_str(),
-              static_cast<unsigned long long>(proc.space().huge_blocks()),
-              "");
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "  %-52s %s\n", row.scheme_line,
+                row.description);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    -> tried %llu regions (%s), applied %llu regions (%s); "
+                "RSS now %s, swapped %s, huge blocks %llu, deactivated+%s\n",
+                static_cast<unsigned long long>(st.nr_tried),
+                FormatSize(st.sz_tried).c_str(),
+                static_cast<unsigned long long>(st.nr_applied),
+                FormatSize(st.sz_applied).c_str(),
+                FormatSize(proc.space().resident_bytes()).c_str(),
+                FormatSize(proc.space().swapped_pages() * kPageSize).c_str(),
+                static_cast<unsigned long long>(proc.space().huge_blocks()),
+                "");
+  out += buf;
+  return out;
 }
 
 }  // namespace
@@ -85,7 +93,13 @@ int main() {
       {"min max 1 max min max stat",
        "STAT: count accessed regions (working-set estimation)"},
   };
-  for (const ActionRow& row : rows) RunAction(row);
+  // Each action drives a fresh System, so the six rows fan out over
+  // DAOS_JOBS workers; output is collected per row and printed in order.
+  constexpr std::size_t kRows = sizeof(rows) / sizeof(rows[0]);
+  std::string outputs[kRows];
+  analysis::ParallelRunner runner;
+  runner.ForEach(kRows, [&](std::size_t i) { outputs[i] = RunAction(rows[i]); });
+  for (const std::string& out : outputs) std::printf("%s", out.c_str());
   std::printf("\nAll six Table 1 actions exercised.\n");
   return 0;
 }

@@ -1,0 +1,70 @@
+// Parallel experiment runner: fans a grid of fully self-contained
+// RunWorkload invocations out over a work-stealing thread pool.
+//
+// Every figure/table bench regenerates a paper sweep as (workload × config
+// × host × seed) points. Each point is deterministic and thread-confined —
+// its own System, MetricsRegistry, fault plane, and seeded RNGs — so the
+// grid parallelizes with *zero* tolerance for output drift: the runner
+// returns results in submission order and `DAOS_JOBS=1` vs `DAOS_JOBS=N`
+// must produce bit-identical ExperimentResults (asserted by
+// tests/test_parallel_runner.cpp). This is the same scheduling-independence
+// discipline rr builds record-and-replay on: parallelism may change *when*
+// a run executes, never *what* it computes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace daos::damon {
+class Recorder;
+}  // namespace daos::damon
+
+namespace daos::analysis {
+
+/// One grid point: everything RunWorkload needs, captured by value so the
+/// spec outlives whatever loop built it. `schemes` (when set) is passed as
+/// RunWorkload's custom scheme list; `recorder` (when non-null) must be a
+/// distinct object per spec — it is written by exactly one worker.
+struct RunSpec {
+  workload::WorkloadProfile profile;
+  Config config = Config::kBaseline;
+  ExperimentOptions options;
+  std::optional<std::vector<damos::Scheme>> schemes;
+  damon::Recorder* recorder = nullptr;
+};
+
+/// Work-stealing thread-pool runner. Thread count comes from the
+/// constructor, else the DAOS_JOBS environment variable, else
+/// std::thread::hardware_concurrency(). A runner is cheap to construct
+/// (threads are spawned per Run/ForEach call and joined before return), so
+/// benches just create one on the stack.
+class ParallelRunner {
+ public:
+  /// `jobs == 0` resolves through JobsFromEnv().
+  explicit ParallelRunner(unsigned jobs = 0);
+
+  unsigned jobs() const noexcept { return jobs_; }
+
+  /// DAOS_JOBS when set to a positive integer, otherwise
+  /// hardware_concurrency (at least 1).
+  static unsigned JobsFromEnv();
+
+  /// Runs every spec, at most jobs() concurrently, and returns the results
+  /// in submission order regardless of completion order. Exceptions thrown
+  /// by a run are rethrown on the calling thread after all workers joined.
+  std::vector<ExperimentResult> Run(const std::vector<RunSpec>& specs);
+
+  /// Generic fan-out with the same scheduler: invokes `fn(i)` for every
+  /// i in [0, n) across the pool. `fn` must confine its mutable state to
+  /// the index it was given (distinct result slots per index).
+  void ForEach(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace daos::analysis

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -291,6 +292,12 @@ std::vector<std::string> FaultPlane::Names() const {
 }
 
 std::unique_ptr<FaultPlane> FaultPlane::FromEnv() {
+  // Serialized: every System construction lands here, and concurrent
+  // experiment runs (ParallelRunner) construct Systems from many threads.
+  // getenv itself is only thread-safe against other getenv calls; the lock
+  // also keeps the stderr diagnostics whole.
+  static std::mutex env_mu;
+  const std::lock_guard<std::mutex> lock(env_mu);
   const char* spec = std::getenv("DAOS_FAULTS");
   if (spec == nullptr || *spec == '\0') return nullptr;
   std::uint64_t seed = 0xfa'017'fa'017ULL;

@@ -69,16 +69,28 @@ void Vma::LogRangeTouch(Addr s, Addr e, SimTimeUs now) {
 }
 
 bool Vma::LogCoversSince(Addr a, SimTimeUs since) const {
-  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
-    if (it->at < since) break;  // entries are time-ordered
+  // `at` is non-decreasing, so binary-search the cutoff instead of walking
+  // the (up to kLogCap-entry) tail; only entries at or after `since` need a
+  // range check.
+  const auto first = std::lower_bound(
+      log_.begin(), log_.end(), since,
+      [](const RangeTouch& t, SimTimeUs s) { return t.at < s; });
+  for (auto it = first; it != log_.end(); ++it) {
     if (a >= it->start && a < it->end) return true;
   }
   return false;
 }
 
-void Vma::GcLog(SimTimeUs now, SimTimeUs horizon) {
+std::size_t Vma::GcLog(SimTimeUs now, SimTimeUs horizon) {
   const SimTimeUs cutoff = now > horizon ? now - horizon : 0;
-  while (!log_.empty() && log_.front().at < cutoff) log_.pop_front();
+  // The stale prefix ends at the first entry >= cutoff; one binary search
+  // bounds it and the erase drops it wholesale.
+  const auto keep = std::lower_bound(
+      log_.begin(), log_.end(), cutoff,
+      [](const RangeTouch& t, SimTimeUs c) { return t.at < c; });
+  const std::size_t dropped = static_cast<std::size_t>(keep - log_.begin());
+  log_.erase(log_.begin(), keep);
+  return dropped;
 }
 
 // ---------------------------------------------------------------------------
@@ -147,15 +159,26 @@ void AddressSpace::UnmapVma(Addr start) {
   ++layout_gen_;
 }
 
-Vma* AddressSpace::FindVma(Addr a) {
-  auto it = std::upper_bound(vmas_.begin(), vmas_.end(), a,
+template <typename Self>
+auto AddressSpace::FindVmaImpl(Self& self, Addr a)
+    -> decltype(self.vmas_.data()) {
+  if (self.vma_cache_gen_ == self.layout_gen_ &&
+      self.vma_cache_idx_ < self.vmas_.size() &&
+      self.vmas_[self.vma_cache_idx_].Contains(a)) {
+    return &self.vmas_[self.vma_cache_idx_];
+  }
+  auto it = std::upper_bound(self.vmas_.begin(), self.vmas_.end(), a,
                              [](Addr x, const Vma& v) { return x < v.end(); });
-  if (it == vmas_.end() || !it->Contains(a)) return nullptr;
+  if (it == self.vmas_.end() || !it->Contains(a)) return nullptr;
+  self.vma_cache_idx_ = static_cast<std::size_t>(it - self.vmas_.begin());
+  self.vma_cache_gen_ = self.layout_gen_;
   return &*it;
 }
 
+Vma* AddressSpace::FindVma(Addr a) { return FindVmaImpl(*this, a); }
+
 const Vma* AddressSpace::FindVma(Addr a) const {
-  return const_cast<AddressSpace*>(this)->FindVma(a);
+  return FindVmaImpl(*this, a);
 }
 
 void AddressSpace::MakeResident(Vma& vma, std::size_t page_idx, bool via_thp) {
@@ -540,8 +563,10 @@ AddressSpace::EvictOutcome AddressSpace::TryEvictPage(Vma& vma,
   return EvictOutcome::kEvicted;
 }
 
-void AddressSpace::MaintainLogs(SimTimeUs now) {
-  for (Vma& vma : vmas_) vma.GcLog(now, kLogHorizonUs);
+std::uint64_t AddressSpace::MaintainLogs(SimTimeUs now) {
+  std::uint64_t dropped = 0;
+  for (Vma& vma : vmas_) dropped += vma.GcLog(now, kLogHorizonUs);
+  return dropped;
 }
 
 }  // namespace daos::sim

@@ -96,10 +96,14 @@ class Vma {
   const Block& block(std::size_t i) const { return blocks_[i]; }
 
   // --- range-touch log -----------------------------------------------------
+  // Entries are kept ordered by non-decreasing `at` (coalescing only ever
+  // refreshes the newest entry), which is what lets LogCoversSince and
+  // GcLog binary-search the time axis instead of walking up to the cap.
   void LogRangeTouch(Addr s, Addr e, SimTimeUs now);
   /// True if the log records a sweep covering `a` at or after `since`.
   bool LogCoversSince(Addr a, SimTimeUs since) const;
-  void GcLog(SimTimeUs now, SimTimeUs horizon);
+  /// Drops entries older than `now - horizon`; returns how many.
+  std::size_t GcLog(SimTimeUs now, SimTimeUs horizon);
   std::size_t log_size() const noexcept { return log_.size(); }
 
  private:
@@ -227,10 +231,17 @@ class AddressSpace {
   std::uint64_t dirty_evictions() const noexcept { return dirty_evictions_; }
   std::uint64_t clean_evictions() const noexcept { return clean_evictions_; }
 
-  /// Drops touch-log entries older than the monitoring horizon.
-  void MaintainLogs(SimTimeUs now);
+  /// Drops touch-log entries older than the monitoring horizon. Returns the
+  /// number of entries dropped (published as "sim.touchlog.gc_entries").
+  std::uint64_t MaintainLogs(SimTimeUs now);
 
  private:
+  /// Shared lookup behind both FindVma overloads — `Self` is AddressSpace
+  /// or const AddressSpace, so one body serves both constnesses without the
+  /// const_cast forwarding it replaced.
+  template <typename Self>
+  static auto FindVmaImpl(Self& self, Addr a) -> decltype(self.vmas_.data());
+
   TouchStats FaultIn(Vma& vma, std::size_t page_idx, bool write, SimTimeUs now);
   void MakeResident(Vma& vma, std::size_t page_idx, bool via_thp);
   void MakeNonResident(Vma& vma, std::size_t page_idx);
@@ -241,6 +252,13 @@ class AddressSpace {
   double zram_ratio_;
   std::vector<Vma> vmas_;
   std::uint64_t layout_gen_ = 0;
+  // Last-hit vmacache: TouchPage/MkOld/IsYoung streams resolve the same VMA
+  // over and over, so remember the previous answer. Stored as an index (a
+  // pointer would dangle across vmas_ reallocation) and validated against
+  // layout_gen_, so Map/Unmap invalidate it for free. Mutable because the
+  // const FindVma overload warms it too — it is pure lookup memoization.
+  mutable std::size_t vma_cache_idx_ = 0;
+  mutable std::uint64_t vma_cache_gen_ = ~std::uint64_t{0};
   std::uint64_t mapped_bytes_ = 0;
   std::uint64_t resident_pages_ = 0;
   std::uint64_t swapped_pages_ = 0;

@@ -61,79 +61,98 @@ void System::AttachTelemetry(telemetry::MetricsRegistry* registry,
   trace_ = trace;
   telemetry_interval_ = std::max<SimTimeUs>(interval, quantum_);
   next_telemetry_ = clock_.Now();
-  interference_hist_ =
-      registry_ != nullptr
-          ? &registry_->GetHistogram("sim.quantum.interference_us")
-          : nullptr;
+  tel_ = {};
+  if (registry_ != nullptr) {
+    interference_hist_ =
+        &registry_->GetHistogram("sim.quantum.interference_us");
+    tel_.dram_used_bytes = &registry_->GetGauge("sim.dram_used_bytes");
+    tel_.used_frames = &registry_->GetGauge("sim.used_frames");
+    tel_.swap_used_slots = &registry_->GetGauge("sim.swap.used_slots");
+    tel_.processes_active = &registry_->GetGauge("sim.processes.active");
+    tel_.reclaim_pages = &registry_->GetCounter("sim.reclaim.pages");
+    tel_.reclaim_scans = &registry_->GetCounter("sim.reclaim.scans");
+    tel_.swap_ins = &registry_->GetCounter("sim.swap.ins");
+    tel_.swap_outs = &registry_->GetCounter("sim.swap.outs");
+    tel_.thp_collapses = &registry_->GetCounter("sim.thp.collapses");
+    tel_.swap_errors = &registry_->GetCounter("sim.swap.errors");
+    tel_.oom_kills = &registry_->GetCounter("sim.oom_kills");
+    tel_.alloc_errors = &registry_->GetCounter("sim.alloc.errors");
+    tel_.thp_collapse_errors =
+        &registry_->GetCounter("sim.thp.collapse_errors");
+    tel_.daemon_overruns = &registry_->GetCounter("sim.daemon.overruns");
+    tel_.touchlog_gc_entries =
+        &registry_->GetCounter("sim.touchlog.gc_entries");
+  } else {
+    interference_hist_ = nullptr;
+  }
   last_ = {};
 }
 
 void System::PublishTelemetry(SimTimeUs now) {
-  // Gauges: current state of the machine.
-  registry_->GetGauge("sim.dram_used_bytes")
-      .Set(static_cast<double>(machine_.dram_used_bytes()));
-  registry_->GetGauge("sim.used_frames")
-      .Set(static_cast<double>(machine_.used_frames()));
-  registry_->GetGauge("sim.swap.used_slots")
-      .Set(static_cast<double>(machine_.swap().used_slots()));
+  // Gauges: current state of the machine. All instrument handles were
+  // resolved at AttachTelemetry; this path is pure pointer arithmetic.
+  tel_.dram_used_bytes->Set(static_cast<double>(machine_.dram_used_bytes()));
+  tel_.used_frames->Set(static_cast<double>(machine_.used_frames()));
+  tel_.swap_used_slots->Set(
+      static_cast<double>(machine_.swap().used_slots()));
   std::uint64_t active = 0;
   for (const auto& proc : processes_)
     if (!proc->finished()) ++active;
-  registry_->GetGauge("sim.processes.active").Set(static_cast<double>(active));
+  tel_.processes_active->Set(static_cast<double>(active));
 
   // Counters: mirror the machine/swap totals by delta, and turn nonzero
   // deltas into tracepoints (id/args documented per kind).
   const MachineCounters& mc = machine_.counters();
   const SwapDevice& swap = machine_.swap();
   struct DeltaSpec {
-    const char* name;
+    telemetry::Counter* counter;
     std::uint64_t current;
     std::uint64_t* last;
     telemetry::EventKind kind;
   } deltas[] = {
-      {"sim.reclaim.pages", mc.reclaimed_pages, &last_.reclaimed_pages,
+      {tel_.reclaim_pages, mc.reclaimed_pages, &last_.reclaimed_pages,
        telemetry::EventKind::kReclaim},
-      {"sim.swap.ins", swap.total_ins(), &last_.swap_ins,
+      {tel_.swap_ins, swap.total_ins(), &last_.swap_ins,
        telemetry::EventKind::kSwapIn},
-      {"sim.swap.outs", swap.total_outs(), &last_.swap_outs,
+      {tel_.swap_outs, swap.total_outs(), &last_.swap_outs,
        telemetry::EventKind::kSwapOut},
-      {"sim.thp.collapses", mc.khugepaged_collapses,
+      {tel_.thp_collapses, mc.khugepaged_collapses,
        &last_.khugepaged_collapses, telemetry::EventKind::kThpCollapse},
-      {"sim.swap.errors", mc.swap_write_errors, &last_.swap_write_errors,
+      {tel_.swap_errors, mc.swap_write_errors, &last_.swap_write_errors,
        telemetry::EventKind::kSwapError},
-      {"sim.oom_kills", oom_kills_, &last_.oom_kills,
+      {tel_.oom_kills, oom_kills_, &last_.oom_kills,
        telemetry::EventKind::kOomKill},
   };
   for (DeltaSpec& d : deltas) {
     const std::uint64_t delta = d.current - *d.last;
     *d.last = d.current;
     if (delta == 0) continue;
-    registry_->GetCounter(d.name).Add(delta);
+    d.counter->Add(delta);
     if (trace_ != nullptr) {
       // arg0=count since last snapshot, arg1=running total.
       trace_->Push({now, d.kind, 0, delta, d.current, 0});
     }
   }
-  const std::uint64_t scan_delta = mc.reclaim_scans - last_.reclaim_scans;
-  last_.reclaim_scans = mc.reclaim_scans;
-  if (scan_delta > 0) registry_->GetCounter("sim.reclaim.scans").Add(scan_delta);
 
-  // Event-less error counters (failure paths that already traced above or
-  // need no tracepoint of their own).
+  // Event-less counters (failure paths that already traced above or need no
+  // tracepoint of their own), plus maintenance totals.
   struct PlainDelta {
-    const char* name;
+    telemetry::Counter* counter;
     std::uint64_t current;
     std::uint64_t* last;
   } plain[] = {
-      {"sim.alloc.errors", mc.alloc_stalls, &last_.alloc_stalls},
-      {"sim.thp.collapse_errors", mc.thp_collapse_errors,
+      {tel_.reclaim_scans, mc.reclaim_scans, &last_.reclaim_scans},
+      {tel_.alloc_errors, mc.alloc_stalls, &last_.alloc_stalls},
+      {tel_.thp_collapse_errors, mc.thp_collapse_errors,
        &last_.thp_collapse_errors},
-      {"sim.daemon.overruns", daemon_overruns_, &last_.daemon_overruns},
+      {tel_.daemon_overruns, daemon_overruns_, &last_.daemon_overruns},
+      {tel_.touchlog_gc_entries, touchlog_gc_entries_,
+       &last_.touchlog_gc_entries},
   };
   for (PlainDelta& d : plain) {
     const std::uint64_t delta = d.current - *d.last;
     *d.last = d.current;
-    if (delta > 0) registry_->GetCounter(d.name).Add(delta);
+    if (delta > 0) d.counter->Add(delta);
   }
 }
 
@@ -173,7 +192,8 @@ void System::Step() {
 
   if (now >= next_log_gc_) {
     next_log_gc_ = now + kUsPerSec;
-    for (AddressSpace* space : machine_.spaces()) space->MaintainLogs(now);
+    for (AddressSpace* space : machine_.spaces())
+      touchlog_gc_entries_ += space->MaintainLogs(now);
   }
 
   if (registry_ != nullptr && now >= next_telemetry_) {

@@ -115,6 +115,28 @@ class System {
   telemetry::Histogram* interference_hist_ = nullptr;
   SimTimeUs telemetry_interval_ = kUsPerSec;
   SimTimeUs next_telemetry_ = 0;
+  std::uint64_t touchlog_gc_entries_ = 0;  // touch-log entries GC'd so far
+  /// Instrument handles resolved once at AttachTelemetry — PublishTelemetry
+  /// runs every snapshot interval and must not pay ~15 string-keyed map
+  /// lookups per tick (the same resolve-at-bind discipline as
+  /// DamonContext::BindTelemetry).
+  struct {
+    telemetry::Gauge* dram_used_bytes = nullptr;
+    telemetry::Gauge* used_frames = nullptr;
+    telemetry::Gauge* swap_used_slots = nullptr;
+    telemetry::Gauge* processes_active = nullptr;
+    telemetry::Counter* reclaim_pages = nullptr;
+    telemetry::Counter* reclaim_scans = nullptr;
+    telemetry::Counter* swap_ins = nullptr;
+    telemetry::Counter* swap_outs = nullptr;
+    telemetry::Counter* thp_collapses = nullptr;
+    telemetry::Counter* swap_errors = nullptr;
+    telemetry::Counter* oom_kills = nullptr;
+    telemetry::Counter* alloc_errors = nullptr;
+    telemetry::Counter* thp_collapse_errors = nullptr;
+    telemetry::Counter* daemon_overruns = nullptr;
+    telemetry::Counter* touchlog_gc_entries = nullptr;
+  } tel_;
   struct {
     std::uint64_t reclaimed_pages = 0;
     std::uint64_t reclaim_scans = 0;
@@ -126,6 +148,7 @@ class System {
     std::uint64_t thp_collapse_errors = 0;
     std::uint64_t oom_kills = 0;
     std::uint64_t daemon_overruns = 0;
+    std::uint64_t touchlog_gc_entries = 0;
   } last_;  // previous snapshot's counter values (for deltas)
 };
 

@@ -75,6 +75,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry::Instrument& MetricsRegistry::GetOrCreate(
     std::string_view name, InstrumentKind kind, std::vector<double>* bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = instruments_.find(name);
   if (it != instruments_.end()) {
     if (it->second->kind != kind) {
@@ -115,13 +116,20 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 
 bool MetricsRegistry::Lookup(std::string_view name,
                              InstrumentKind* kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = instruments_.find(name);
   if (it == instruments_.end()) return false;
   if (kind != nullptr) *kind = it->second->kind;
   return true;
 }
 
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
 std::vector<std::string> MetricsRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(instruments_.size());
   for (const auto& [name, inst] : instruments_) out.push_back(name);
@@ -129,6 +137,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> samples;
   samples.reserve(instruments_.size());
   for (const auto& [name, inst] : instruments_) {

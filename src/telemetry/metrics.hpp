@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -146,6 +147,14 @@ class MetricsSnapshot {
 /// (idempotent — two components may share a counter deliberately);
 /// re-requesting with a different kind throws std::logic_error, since the
 /// two call sites would otherwise silently corrupt each other's data.
+///
+/// Threading: creation, lookup, and snapshotting are serialized by an
+/// internal mutex, so concurrent experiment runs may register instruments
+/// against a shared registry without racing the map. Instrument *updates*
+/// through handed-out references stay lock-free; for cross-thread updates
+/// of the same instrument, build with DAOS_TELEMETRY_ATOMIC. Each
+/// ParallelRunner run carries its own registry, so the default
+/// single-writer cells stay correct there.
 class MetricsRegistry {
  public:
   MetricsRegistry();
@@ -164,7 +173,7 @@ class MetricsRegistry {
   /// leaves `kind` untouched when the name is unknown.
   bool Lookup(std::string_view name, InstrumentKind* kind = nullptr) const;
   std::vector<std::string> Names() const;
-  std::size_t size() const noexcept { return instruments_.size(); }
+  std::size_t size() const;
 
   MetricsSnapshot Snapshot() const;
 
@@ -176,6 +185,7 @@ class MetricsRegistry {
   Instrument& GetOrCreate(std::string_view name, InstrumentKind kind,
                           std::vector<double>* bounds);
 
+  mutable std::mutex mu_;  // guards instruments_ (never held on update paths)
   std::map<std::string, std::unique_ptr<Instrument>, std::less<>> instruments_;
 };
 

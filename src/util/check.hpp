@@ -15,19 +15,24 @@
 // outside keep using assert().
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 
 namespace daos::detail {
 
 inline bool CheckFailed(const char* expr, const char* file, int line) {
   // Cap the noise: a check inside a hot loop failing millions of times
-  // should not turn stderr into the bottleneck.
-  static int remaining = 32;
-  if (remaining > 0) {
-    --remaining;
-    std::fprintf(stderr, "daos: check failed: %s (%s:%d)%s\n", expr, file,
-                 line,
-                 remaining == 0 ? " [further check failures suppressed]" : "");
+  // should not turn stderr into the bottleneck. Atomic because checks run
+  // from concurrent experiment runs (ParallelRunner); the cap is global
+  // across all of them by design.
+  static std::atomic<int> remaining{32};
+  if (remaining.load(std::memory_order_relaxed) > 0) {
+    const int left = remaining.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (left >= 0) {
+      std::fprintf(stderr, "daos: check failed: %s (%s:%d)%s\n", expr, file,
+                   line,
+                   left == 0 ? " [further check failures suppressed]" : "");
+    }
   }
   return false;
 }

@@ -4,6 +4,7 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/report.hpp"
+#include "analysis/runner.hpp"
 #include "autotune/tuner.hpp"
 #include "damon/recorder.hpp"
 #include "workload/generator.hpp"
@@ -75,14 +76,19 @@ TEST(PaperShape, EthpRemovesBloatKeepsSomeGain) {
   // some gain kept.
   const workload::WorkloadProfile p =
       Shrink(*workload::FindProfile("splash2x/ocean_ncp"), 0.15, 0.04);
-  const auto base =
-      analysis::RunWorkload(p, analysis::Config::kBaseline, TestOptions());
-  const auto thp =
-      analysis::RunWorkload(p, analysis::Config::kThp, TestOptions());
-  const auto ethp =
-      analysis::RunWorkload(p, analysis::Config::kEthp, TestOptions());
-  const auto nthp = analysis::Normalize(thp, base);
-  const auto nethp = analysis::Normalize(ethp, base);
+  // The three configs are independent: submit them as one grid.
+  std::vector<analysis::RunSpec> specs(3);
+  specs[0].config = analysis::Config::kBaseline;
+  specs[1].config = analysis::Config::kThp;
+  specs[2].config = analysis::Config::kEthp;
+  for (analysis::RunSpec& spec : specs) {
+    spec.profile = p;
+    spec.options = TestOptions();
+  }
+  const auto results = analysis::ParallelRunner().Run(specs);
+  const auto& base = results[0];
+  const auto nthp = analysis::Normalize(results[1], base);
+  const auto nethp = analysis::Normalize(results[2], base);
 
   const double thp_bloat = 1.0 / nthp.memory_efficiency - 1.0;
   const double ethp_bloat =
@@ -236,10 +242,16 @@ TEST(PaperShape, MonitorOverheadIndependentOfTargetSize) {
   // overhead because the region cap bounds the work.
   const workload::WorkloadProfile p =
       Shrink(*workload::FindProfile("parsec3/blackscholes"), 0.15, 0.25);
-  const auto rec =
-      analysis::RunWorkload(p, analysis::Config::kRec, TestOptions());
-  const auto prec =
-      analysis::RunWorkload(p, analysis::Config::kPrec, TestOptions());
+  std::vector<analysis::RunSpec> specs(2);
+  specs[0].config = analysis::Config::kRec;
+  specs[1].config = analysis::Config::kPrec;
+  for (analysis::RunSpec& spec : specs) {
+    spec.profile = p;
+    spec.options = TestOptions();
+  }
+  const auto results = analysis::ParallelRunner().Run(specs);
+  const auto& rec = results[0];
+  const auto& prec = results[1];
   EXPECT_LT(prec.monitor_cpu_fraction, 3.0 * rec.monitor_cpu_fraction + 0.01);
 }
 

@@ -1,0 +1,146 @@
+#include "analysis/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace daos::analysis {
+namespace {
+
+/// Small grid workload: milliseconds per run, so the determinism matrix
+/// (sequential vs 1 thread vs 8 threads) stays cheap.
+workload::WorkloadProfile FastProfile() {
+  workload::WorkloadProfile p;
+  p.name = "test/runner";
+  p.suite = "test";
+  p.data_bytes = 128 * MiB;
+  p.runtime_s = 10;
+  p.noise = 0.0;
+  p.thp_gain = 0.15;
+  p.groups = {
+      workload::GroupSpec{0.30, 0.0, 1.0, 0.3},
+      workload::GroupSpec{0.20, 3.0, 1.0, 0.3},
+      workload::GroupSpec{0.50, -1.0, 0.6, 0.2},
+  };
+  p.zipf_touches_per_s = 8000;
+  return p;
+}
+
+std::vector<RunSpec> Grid() {
+  std::vector<RunSpec> specs;
+  for (const Config config :
+       {Config::kBaseline, Config::kRec, Config::kEthp, Config::kPrcl}) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      RunSpec spec;
+      spec.profile = FastProfile();
+      spec.config = config;
+      spec.options.max_time = 120 * kUsPerSec;
+      spec.options.apply_runtime_noise = false;
+      spec.options.seed = seed;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  // Exact comparisons on purpose: a parallel run must be *bit*-identical
+  // to a sequential one, not merely statistically close.
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.avg_rss_bytes, b.avg_rss_bytes);
+  EXPECT_EQ(a.peak_rss_bytes, b.peak_rss_bytes);
+  EXPECT_EQ(a.major_faults, b.major_faults);
+  EXPECT_EQ(a.monitor_cpu_fraction, b.monitor_cpu_fraction);
+  EXPECT_EQ(a.interference_s, b.interference_s);
+  ASSERT_EQ(a.scheme_stats.size(), b.scheme_stats.size());
+  for (std::size_t i = 0; i < a.scheme_stats.size(); ++i) {
+    EXPECT_EQ(a.scheme_stats[i].nr_tried, b.scheme_stats[i].nr_tried);
+    EXPECT_EQ(a.scheme_stats[i].sz_tried, b.scheme_stats[i].sz_tried);
+    EXPECT_EQ(a.scheme_stats[i].nr_applied, b.scheme_stats[i].nr_applied);
+    EXPECT_EQ(a.scheme_stats[i].sz_applied, b.scheme_stats[i].sz_applied);
+    EXPECT_EQ(a.scheme_stats[i].qt_exceeds, b.scheme_stats[i].qt_exceeds);
+  }
+  ASSERT_EQ(a.telemetry.samples().size(), b.telemetry.samples().size());
+  for (std::size_t i = 0; i < a.telemetry.samples().size(); ++i) {
+    const auto& sa = a.telemetry.samples()[i];
+    const auto& sb = b.telemetry.samples()[i];
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.value, sb.value) << sa.name;
+    EXPECT_EQ(sa.count, sb.count) << sa.name;
+    EXPECT_EQ(sa.buckets, sb.buckets) << sa.name;
+  }
+}
+
+TEST(ParallelRunnerTest, JobsFromEnvParsesDaosJobs) {
+  ASSERT_EQ(setenv("DAOS_JOBS", "3", 1), 0);
+  EXPECT_EQ(ParallelRunner::JobsFromEnv(), 3u);
+  EXPECT_EQ(ParallelRunner(0).jobs(), 3u);
+  ASSERT_EQ(setenv("DAOS_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ParallelRunner::JobsFromEnv(), 1u);  // falls back to hardware
+  ASSERT_EQ(unsetenv("DAOS_JOBS"), 0);
+  EXPECT_GE(ParallelRunner::JobsFromEnv(), 1u);
+}
+
+TEST(ParallelRunnerTest, ResultsComeBackInSubmissionOrder) {
+  const std::vector<RunSpec> specs = Grid();
+  const auto results = ParallelRunner(4).Run(specs);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].workload, specs[i].profile.name);
+    EXPECT_EQ(results[i].config, specs[i].config);
+  }
+}
+
+TEST(ParallelRunnerTest, ParallelGridMatchesSequentialBitForBit) {
+  const std::vector<RunSpec> specs = Grid();
+
+  // Reference: plain sequential RunWorkload calls, no runner involved.
+  std::vector<ExperimentResult> sequential;
+  for (const RunSpec& spec : specs) {
+    sequential.push_back(
+        RunWorkload(spec.profile, spec.config, spec.options,
+                    spec.schemes.has_value() ? &*spec.schemes : nullptr,
+                    spec.recorder));
+  }
+
+  const auto one = ParallelRunner(1).Run(specs);
+  const auto eight = ParallelRunner(8).Run(specs);
+  ASSERT_EQ(one.size(), specs.size());
+  ASSERT_EQ(eight.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ExpectIdentical(sequential[i], one[i]);
+    ExpectIdentical(one[i], eight[i]);
+  }
+}
+
+TEST(ParallelRunnerTest, ForEachVisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 100;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelRunner(8).ForEach(kN, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelRunnerTest, ForEachPropagatesExceptions) {
+  EXPECT_THROW(ParallelRunner(4).ForEach(
+                   16,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunnerTest, SequentialFastPathHandlesEmptyAndSingle) {
+  EXPECT_TRUE(ParallelRunner(4).Run({}).empty());
+  std::size_t calls = 0;
+  ParallelRunner(1).ForEach(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1u);
+}
+
+}  // namespace
+}  // namespace daos::analysis

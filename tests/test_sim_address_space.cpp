@@ -233,6 +233,60 @@ TEST_F(AddressSpaceTest, LogGcKeepsRecentEntries) {
   EXPECT_GE(vma->log_size(), 1u);
 }
 
+TEST_F(AddressSpaceTest, MaintainLogsReportsDroppedEntries) {
+  space_.Map(0x10000, 1024 * kPageSize, "a");
+  space_.TouchRange(0x10000, 0x10000 + 1024 * kPageSize, false, 0);
+  Vma* vma = space_.FindVma(0x10000);
+  ASSERT_GE(vma->log_size(), 1u);
+  // Horizon is 10s: a GC at t=20s drops the t=0 entry and reports it.
+  EXPECT_GE(space_.MaintainLogs(20 * kUsPerSec), 1u);
+  EXPECT_EQ(vma->log_size(), 0u);
+  EXPECT_EQ(space_.MaintainLogs(21 * kUsPerSec), 0u);
+}
+
+// The vmacache memoizes the last FindVma hit keyed on layout_generation;
+// these tests drive the invalidation edges (Map/Unmap between lookups).
+
+TEST_F(AddressSpaceTest, VmacacheInvalidatedByUnmap) {
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.TouchPage(0x10000, false, 0);  // warms the cache on "a"
+  ASSERT_NE(space_.FindVma(0x10000), nullptr);
+  space_.UnmapVma(0x10000);
+  EXPECT_EQ(space_.FindVma(0x10000), nullptr);
+  EXPECT_FALSE(space_.IsYoung(0x10000));
+}
+
+TEST_F(AddressSpaceTest, VmacacheInvalidatedByMapBetweenTouches) {
+  space_.Map(0x100000, 4 * kPageSize, "b");
+  space_.TouchPage(0x100000, false, 0);  // cache points at "b"
+  // Mapping "a" below "b" shifts "b"'s index in the sorted vector; a stale
+  // cached index would now resolve to the wrong VMA.
+  ASSERT_NE(space_.Map(0x10000, 4 * kPageSize, "a"), nullptr);
+  const Vma* a = space_.FindVma(0x10000);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name(), "a");
+  const Vma* b = space_.FindVma(0x100000);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->name(), "b");
+  // Touch state must land in the right VMA after the re-resolve.
+  space_.TouchPage(0x10000, false, 1000);
+  space_.MkOld(0x100000, 1000);
+  EXPECT_TRUE(space_.IsYoung(0x10000));
+  EXPECT_FALSE(space_.IsYoung(0x100000));
+}
+
+TEST_F(AddressSpaceTest, VmacacheRepeatedLookupsStayCorrect) {
+  // Alternating lookups between two VMAs and a hole: every answer must
+  // match the cold-lookup truth regardless of what the cache held.
+  space_.Map(0x10000, 4 * kPageSize, "a");
+  space_.Map(0x100000, 4 * kPageSize, "b");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(space_.FindVma(0x10000)->name(), "a");
+    EXPECT_EQ(space_.FindVma(0x100000)->name(), "b");
+    EXPECT_EQ(space_.FindVma(0x50000), nullptr);
+  }
+}
+
 // Invariant sweep: resident + swapped counters must match per-page state
 // after arbitrary operation sequences.
 class AddressSpaceInvariantTest : public ::testing::TestWithParam<int> {};
