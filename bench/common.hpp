@@ -59,4 +59,13 @@ inline std::vector<std::string> BenchWorkloads(std::size_t quick_count) {
   return names;
 }
 
+/// Appends the grown scenario library (suite "scenario") to a figure's
+/// workload list, so the application-shaped profiles ride the same grids
+/// as the paper's evaluation set.
+inline std::vector<std::string> WithScenarios(std::vector<std::string> names) {
+  for (const workload::WorkloadProfile& p : workload::ScenarioProfiles())
+    names.push_back(p.name);
+  return names;
+}
+
 }  // namespace daos::bench

@@ -40,7 +40,7 @@ int main() {
   const auto hosts = bench::Hosts();
   const auto ages = MinAges();
   const int repeats = bench::FullMode() ? 3 : 1;
-  const auto names = bench::BenchWorkloads(8);
+  const auto names = bench::WithScenarios(bench::BenchWorkloads(8));
   std::printf("workloads: %zu, machines: %zu, min_age points: %zu, "
               "repeats: %d\n\n",
               names.size(), hosts.size(), ages.size(), repeats);

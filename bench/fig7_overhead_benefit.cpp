@@ -20,11 +20,13 @@ int main() {
       analysis::Config::kEthp, analysis::Config::kPrcl};
 
   // Quick mode: every other workload (6 Parsec3 + 6 Splash-2x); full: all.
+  // The scenario library rides along in both modes.
   std::vector<std::string> names;
   std::size_t index = 0;
   for (const workload::WorkloadProfile& p : workload::AllProfiles()) {
     if (bench::FullMode() || index++ % 2 == 0) names.push_back(p.name);
   }
+  names = bench::WithScenarios(std::move(names));
 
   std::printf("%-26s", "workload");
   for (auto c : configs)

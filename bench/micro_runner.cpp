@@ -1,11 +1,12 @@
 // Runner micro-bench: what does the parallel experiment runner buy, and
 // does it change the results?
 //
-// Runs a 16-run grid (4 configs x 4 seeds of a small workload) through
-// ParallelRunner at 1, 2, and N worker threads (N = DAOS_JOBS or the
-// hardware concurrency), records the wall-clock speedup, and verifies the
-// results are bit-identical across thread counts — the determinism
-// contract the test suite also asserts.
+// Runs a 40-run grid (5 configs x 4 seeds x 2 workloads — one synthetic,
+// one scenario) through ParallelRunner at 1, 2, and N worker threads
+// (N = DAOS_JOBS or the hardware concurrency), records the wall-clock
+// speedup, and verifies the results are bit-identical across thread
+// counts — the determinism contract the test suite also asserts. The grid
+// is wide enough that per-run setup noise stops masking the scaling.
 //
 // Results append a machine-readable entry to BENCH_runner.json in the
 // working directory (same trajectory-array schema as BENCH_governor.json).
@@ -42,21 +43,35 @@ workload::WorkloadProfile GridProfile() {
   return p;
 }
 
+// A scenario-library rider: proves application-shaped sources hold the
+// same determinism contract under the parallel runner.
+workload::WorkloadProfile ScenarioGridProfile() {
+  workload::WorkloadProfile p = *workload::FindProfile("scenario/antimerge");
+  p.data_bytes = 96 * MiB;
+  p.runtime_s = 8;
+  p.noise = 0.0;
+  return p;
+}
+
 std::vector<analysis::RunSpec> BuildGrid() {
-  const workload::WorkloadProfile profile = GridProfile();
+  const workload::WorkloadProfile profiles[] = {GridProfile(),
+                                                ScenarioGridProfile()};
   const analysis::Config configs[] = {
       analysis::Config::kBaseline, analysis::Config::kRec,
-      analysis::Config::kEthp, analysis::Config::kPrcl};
+      analysis::Config::kThp, analysis::Config::kEthp,
+      analysis::Config::kPrcl};
   std::vector<analysis::RunSpec> specs;
-  for (const analysis::Config config : configs) {
-    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-      analysis::RunSpec spec;
-      spec.profile = profile;
-      spec.config = config;
-      spec.options.max_time = 120 * kUsPerSec;
-      spec.options.apply_runtime_noise = false;
-      spec.options.seed = seed;
-      specs.push_back(spec);
+  for (const workload::WorkloadProfile& profile : profiles) {
+    for (const analysis::Config config : configs) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        analysis::RunSpec spec;
+        spec.profile = profile;
+        spec.config = config;
+        spec.options.max_time = 120 * kUsPerSec;
+        spec.options.apply_runtime_noise = false;
+        spec.options.seed = seed;
+        specs.push_back(spec);
+      }
     }
   }
   return specs;
@@ -156,7 +171,7 @@ int main() {
   std::vector<unsigned> counts = {1, 2};
   if (std::find(counts.begin(), counts.end(), n) == counts.end())
     counts.push_back(n);
-  std::printf("grid: %zu runs (4 configs x 4 seeds, 128 MiB / 10 s each); "
+  std::printf("grid: %zu runs (5 configs x 4 seeds x 2 workloads); "
               "thread counts:", specs.size());
   for (unsigned c : counts) std::printf(" %u", c);
   std::printf("\n\n");

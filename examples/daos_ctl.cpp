@@ -18,15 +18,30 @@
 //                                   non-zero when the bundle is rejected
 //   daos_ctl checkpoint <out-file>  run supervised, save a checkpoint
 //   daos_ctl restore <in-file>      boot from a saved checkpoint, resume
+//
+// Trace verbs (src/trace, driven through the /trace/* files and the
+// `trace:` workload scheme):
+//
+//   daos_ctl record <workload> <out.dtr>   run a workload with the trace
+//                                          tap armed, save daos-trace v1
+//   daos_ctl replay <in.dtr>               run the trace as a workload
+//   daos_ctl ingest <in.txt> <out.dtr>     convert lackey/CSV text traces
+//
+// All three exit non-zero on a rejected input, with line/offset-accurate
+// errors on stderr.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "analysis/experiment.hpp"
 #include "analysis/heatmap.hpp"
 #include "damon/recorder.hpp"
 #include "damon/trace.hpp"
+#include "dbgfs/trace_fs.hpp"
+#include "trace/ingest.hpp"
+#include "trace/writer.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
 #include "dbgfs/lifecycle_fs.hpp"
 #include "dbgfs/procfs.hpp"
@@ -166,6 +181,120 @@ int RunCheckpoint(const char* out_path) {
   return 0;
 }
 
+/// `daos_ctl record <workload> <out.dtr>`: run the workload with the
+/// /trace plane armed and save the captured daos-trace v1 blob. The tap is
+/// armed before the first quantum, so the trace starts with the BuildLayout
+/// maps and a replay reconstructs the address space from the trace alone.
+int RunRecord(const char* workload, const char* out_path) {
+  using namespace daos;
+  std::string error;
+  const std::optional<workload::WorkloadProfile> profile =
+      workload::ResolveProfile(workload, &error);
+  if (!profile.has_value()) {
+    std::fprintf(stderr, "record: %s\n", error.c_str());
+    return 1;
+  }
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(*profile),
+                                         workload::MakeSource(*profile, 11));
+
+  trace::TraceMeta meta;
+  meta.name = profile->name;
+  meta.quantum_us = 5 * kUsPerMs;
+  meta.data_bytes = profile->data_bytes;
+  meta.runtime_s = profile->runtime_s;
+  meta.mem_boundness = profile->mem_boundness;
+  meta.thp_gain = profile->thp_gain;
+  meta.zram_ratio = profile->zram_ratio;
+
+  dbgfs::PseudoFs fs;
+  dbgfs::TraceFs trace_fs(&fs, &proc.space(), meta);
+  if (!Echo(fs, "on", "/trace/record")) return 1;
+  system.Run(900 * kUsPerSec);
+  if (!Echo(fs, "off", "/trace/record")) return 1;
+  const std::optional<std::string> blob = fs.Read("/trace/data");
+  if (!blob.has_value() || !Spill(out_path, *blob)) {
+    std::fprintf(stderr, "cannot write trace to '%s'\n", out_path);
+    return 1;
+  }
+  Cat(fs, "/trace/status");
+  const trace::TraceWriter* writer = trace_fs.writer();
+  const double raw_bytes =
+      static_cast<double>(writer->events()) * trace::kRawEventBytes;
+  std::printf("trace written to %s: %llu events in %zu bytes (%.2fx vs "
+              "fixed-width)\n",
+              out_path, static_cast<unsigned long long>(writer->events()),
+              blob->size(),
+              blob->empty() ? 0.0 : raw_bytes / static_cast<double>(
+                                                    blob->size()));
+  return 0;
+}
+
+/// `daos_ctl replay <in.dtr>`: run the trace as a first-class workload
+/// through the same experiment runner every figure bench uses. A rejected
+/// trace exits non-zero with the parser's line/offset-accurate error.
+int RunReplay(const char* in_path) {
+  using namespace daos;
+  std::string error;
+  const std::optional<workload::WorkloadProfile> profile =
+      workload::ResolveProfile(std::string("trace:") + in_path, &error);
+  if (!profile.has_value()) {
+    std::fprintf(stderr, "replay: %s\n", error.c_str());
+    return 1;
+  }
+  analysis::ExperimentOptions options;
+  options.apply_runtime_noise = false;
+  const analysis::ExperimentResult result =
+      analysis::RunWorkload(*profile, analysis::Config::kBaseline, options);
+  std::printf("replayed %s: runtime %.2f s, peak RSS %s, %llu major "
+              "faults%s\n",
+              profile->name.c_str(), result.runtime_s,
+              FormatSize(result.peak_rss_bytes).c_str(),
+              static_cast<unsigned long long>(result.major_faults),
+              result.finished ? "" : " (did not finish)");
+  return 0;
+}
+
+/// `daos_ctl ingest <in.txt> <out.dtr>`: lackey/CSV text -> daos-trace v1.
+int RunIngest(const char* in_path, const char* out_path) {
+  using namespace daos;
+  const std::optional<std::string> text = Slurp(in_path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "cannot read trace text '%s'\n", in_path);
+    return 1;
+  }
+  // Trace name: the input's basename, extension stripped.
+  std::string name = in_path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name.erase(dot);
+
+  trace::IngestError ingest_error;
+  const std::optional<trace::Trace> converted =
+      trace::IngestText(*text, name, trace::IngestOptions{}, &ingest_error);
+  if (!converted.has_value()) {
+    std::fprintf(stderr, "ingest: %s: line %d: %s\n", in_path,
+                 ingest_error.line_number, ingest_error.message.c_str());
+    return 1;
+  }
+  std::string write_error;
+  if (!trace::WriteTraceFile(out_path, *converted, &write_error)) {
+    std::fprintf(stderr, "cannot write trace to '%s': %s\n", out_path,
+                 write_error.c_str());
+    return 1;
+  }
+  std::printf("ingested %s: %zu events over %.2f s of simulated time -> "
+              "%s (%llu data bytes)\n",
+              in_path, converted->events.size(),
+              static_cast<double>(converted->Duration()) / kUsPerSec,
+              out_path,
+              static_cast<unsigned long long>(converted->meta.data_bytes));
+  return 0;
+}
+
 int RunRestore(const char* in_path) {
   const std::optional<std::string> checkpoint = Slurp(in_path);
   if (!checkpoint.has_value()) {
@@ -198,11 +327,20 @@ int main(int argc, char** argv) {
       return RunCheckpoint(argv[2]);
     if (std::strcmp(verb, "restore") == 0 && argc == 3)
       return RunRestore(argv[2]);
+    if (std::strcmp(verb, "record") == 0 && argc == 4)
+      return RunRecord(argv[2], argv[3]);
+    if (std::strcmp(verb, "replay") == 0 && argc == 3)
+      return RunReplay(argv[2]);
+    if (std::strcmp(verb, "ingest") == 0 && argc == 4)
+      return RunIngest(argv[2], argv[3]);
     std::fprintf(stderr,
                  "usage: daos_ctl                      # debugfs demo\n"
                  "       daos_ctl commit <bundle>     # staged reconfig\n"
                  "       daos_ctl checkpoint <file>   # save state\n"
-                 "       daos_ctl restore <file>      # boot from state\n");
+                 "       daos_ctl restore <file>      # boot from state\n"
+                 "       daos_ctl record <workload> <out.dtr>\n"
+                 "       daos_ctl replay <in.dtr>\n"
+                 "       daos_ctl ingest <in.txt> <out.dtr>\n");
     return 2;
   }
   return RunDemo();

@@ -81,6 +81,9 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
   sim::Process& proc = system.AddProcess(
       workload::ToProcessParams(profile),
       workload::MakeSource(profile, options.seed));
+  // The tap sees the stream from the very first touch: BuildLayout runs
+  // inside the first quantum, after this point.
+  if (options.record_tap != nullptr) proc.space().SetAccessTap(options.record_tap);
 
   std::unique_ptr<damon::DamonContext> ctx;
   damos::SchemesEngine engine;

@@ -23,6 +23,10 @@
 #include "telemetry/metrics.hpp"
 #include "workload/profile.hpp"
 
+namespace daos::sim {
+class AccessTap;
+}  // namespace daos::sim
+
 namespace daos::analysis {
 
 enum class Config : std::uint8_t {
@@ -45,6 +49,11 @@ struct ExperimentOptions {
   SimTimeUs max_time = 900 * kUsPerSec;
   std::uint64_t seed = 1;
   bool apply_runtime_noise = true;  // per-run multiplicative noise
+  /// When non-null, attached to the workload's address space for the whole
+  /// run — the record hook of the trace plane (usually a
+  /// trace::TraceWriter). Like `recorder` below it belongs to exactly one
+  /// run: never share one tap across ParallelRunner specs.
+  sim::AccessTap* record_tap = nullptr;
 };
 
 struct ExperimentResult {

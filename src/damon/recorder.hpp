@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "damon/monitor.hpp"
+#include "util/check.hpp"
 #include "util/types.hpp"
 
 namespace daos::damon {
@@ -36,17 +37,24 @@ class Recorder {
   const std::vector<Snapshot>& snapshots() const noexcept { return snapshots_; }
   /// Drops the history. NOT the restart path: a kdamond rebuilt from a
   /// checkpoint must call RestoreTail() instead, or the snapshot history
-  /// feeding analysis/heatmap silently truncates at the crash.
-  void Clear() { snapshots_.clear(); }
+  /// feeding analysis/heatmap silently truncates at the crash. On a
+  /// restored recorder this is therefore refused (loudly, via DAOS_CHECK):
+  /// the restored history is preserved and the call is a no-op.
+  void Clear() {
+    if (!DAOS_CHECK(!restored_ && "Clear() on a restored recorder")) return;
+    snapshots_.clear();
+  }
 
   /// Checkpoint hooks (src/lifecycle). `RestoreTail` replaces the held
   /// history with the checkpoint's tail and re-arms the recording cadence,
   /// so post-restore snapshots append seamlessly after the restored ones.
   SimTimeUs every() const noexcept { return every_; }
   SimTimeUs next() const noexcept { return next_; }
+  bool restored() const noexcept { return restored_; }
   void RestoreTail(std::vector<Snapshot> tail, SimTimeUs next) {
     snapshots_ = std::move(tail);
     next_ = next;
+    restored_ = true;
   }
 
   /// Total bytes believed accessed (nr_accesses > 0) in the latest
@@ -59,6 +67,7 @@ class Recorder {
   std::vector<Snapshot> snapshots_;
   SimTimeUs every_ = 0;
   SimTimeUs next_ = 0;
+  bool restored_ = false;
 };
 
 }  // namespace daos::damon

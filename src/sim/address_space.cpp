@@ -132,6 +132,7 @@ Vma* AddressSpace::Map(Addr start, std::uint64_t len, std::string name) {
   it = vmas_.emplace(it, aligned_start, aligned_end, std::move(name));
   mapped_bytes_ += it->size();
   ++layout_gen_;
+  if (tap_ != nullptr) tap_->OnMap(aligned_start, it->size(), it->name());
   return &*it;
 }
 
@@ -157,6 +158,7 @@ void AddressSpace::UnmapVma(Addr start) {
   mapped_bytes_ -= it->size();
   vmas_.erase(it);
   ++layout_gen_;
+  if (tap_ != nullptr) tap_->OnUnmap(start);
 }
 
 template <typename Self>
@@ -259,6 +261,7 @@ TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
 
 TouchStats AddressSpace::TouchPage(Addr addr, bool write, SimTimeUs now) {
   TouchStats st;
+  if (tap_ != nullptr) tap_->OnTouchPage(addr, write, now);
   Vma* vma = FindVma(addr);
   if (vma == nullptr) return st;
   const std::size_t idx = vma->PageIndex(addr);
@@ -281,6 +284,7 @@ TouchStats AddressSpace::TouchPage(Addr addr, bool write, SimTimeUs now) {
 TouchStats AddressSpace::TouchRange(Addr start, Addr end, bool write,
                                     SimTimeUs now) {
   TouchStats st;
+  if (tap_ != nullptr) tap_->OnTouchRange(start, end, write, now);
   for (Vma& vma : vmas_) {
     if (vma.end() <= start || vma.start() >= end) continue;
     const Addr lo = std::max(start, vma.start());

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/page.hpp"
@@ -51,6 +52,22 @@ struct TouchStats {
     stall_us += o.stall_us;
     return *this;
   }
+};
+
+/// Observer of the raw page-touch stream, the record side of the trace
+/// plane (src/trace). Notifications fire after the address space accepted
+/// the operation, with the page-aligned bounds it actually used, so a
+/// replayer re-issuing them reproduces the exact same state transitions.
+/// Map/Unmap carry no timestamp (layout calls have no clock); the tap
+/// stamps them with the last touch time it has seen.
+class AccessTap {
+ public:
+  virtual ~AccessTap() = default;
+  virtual void OnMap(Addr start, std::uint64_t len, std::string_view name) = 0;
+  virtual void OnUnmap(Addr start) = 0;
+  virtual void OnTouchPage(Addr addr, bool write, SimTimeUs now) = 0;
+  virtual void OnTouchRange(Addr start, Addr end, bool write,
+                            SimTimeUs now) = 0;
 };
 
 /// A contiguous mapping, the `struct vma` equivalent.
@@ -148,6 +165,12 @@ class AddressSpace {
   /// Bumped on every Map/Unmap; the monitor's regions-update logic uses it
   /// to detect layout changes (the paper's mmap()/hotplug events).
   std::uint64_t layout_generation() const noexcept { return layout_gen_; }
+
+  /// Arms/disarms the trace tap (nullptr). Exactly one tap; it must
+  /// outlive the space or be detached first. Disarmed costs one branch per
+  /// touch call, same discipline as the fault plane.
+  void SetAccessTap(AccessTap* tap) noexcept { tap_ = tap; }
+  AccessTap* access_tap() const noexcept { return tap_; }
 
   // --- workload side ----------------------------------------------------------
   TouchStats TouchPage(Addr addr, bool write, SimTimeUs now);
@@ -250,6 +273,7 @@ class AddressSpace {
   int id_;
   Machine* machine_;
   double zram_ratio_;
+  AccessTap* tap_ = nullptr;
   std::vector<Vma> vmas_;
   std::uint64_t layout_gen_ = 0;
   // Last-hit vmacache: TouchPage/MkOld/IsYoung streams resolve the same VMA

@@ -67,6 +67,11 @@ void Process::Kill(SimTimeUs now) {
   finished_ = true;
   oom_killed_ = true;
   finish_time_ = now;
+  // A trace ends when the process dies. The kill's teardown is environment
+  // policy, not workload behavior: recording the OOM killer's unmaps would
+  // make a replayer tear the space down in-band, mid-quantum, while the
+  // recording run measured RSS before the out-of-band kill ran.
+  space_.SetAccessTap(nullptr);
   // Release everything the space holds; collect starts first so unmapping
   // doesn't invalidate the iteration.
   std::vector<Addr> starts;

@@ -1,0 +1,109 @@
+#include "trace/writer.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace daos::trace {
+
+TraceWriter::TraceWriter(TraceMeta meta, std::size_t chunk_records)
+    : meta_(std::move(meta)),
+      chunk_records_(chunk_records == 0 ? kChunkRecords : chunk_records) {}
+
+void TraceWriter::Add(const TraceEvent& event) {
+  // The format requires a monotone time axis; a source handing events out
+  // of order is a caller bug, recovered by clamping to the stream clock.
+  TraceEvent ev = event;
+  if (!DAOS_CHECK(ev.at >= last_at_)) ev.at = last_at_;
+  EncodeEvent(payload_, ev, prev_at_, prev_page_);
+  last_at_ = ev.at;
+  ++payload_records_;
+  ++events_;
+  if (payload_records_ >= chunk_records_) FlushChunk();
+}
+
+void TraceWriter::OnMap(Addr start, std::uint64_t len, std::string_view name) {
+  TraceEvent ev;
+  ev.at = last_at_;
+  ev.op = TraceOp::kMap;
+  ev.page = PageOf(start);
+  ev.pages = len >> meta_.page_shift;
+  ev.name = std::string(name);
+  Add(ev);
+}
+
+void TraceWriter::OnUnmap(Addr start) {
+  TraceEvent ev;
+  ev.at = last_at_;
+  ev.op = TraceOp::kUnmap;
+  ev.page = PageOf(start);
+  ev.pages = 1;
+  Add(ev);
+}
+
+void TraceWriter::OnTouchPage(Addr addr, bool write, SimTimeUs now) {
+  TraceEvent ev;
+  ev.at = now;
+  ev.op = TraceOp::kTouchPage;
+  ev.write = write;
+  ev.page = PageOf(addr);
+  ev.pages = 1;
+  Add(ev);
+}
+
+void TraceWriter::OnTouchRange(Addr start, Addr end, bool write,
+                               SimTimeUs now) {
+  if (end <= start) return;
+  TraceEvent ev;
+  ev.at = now;
+  ev.op = TraceOp::kTouchRange;
+  ev.write = write;
+  ev.page = PageOf(start);
+  ev.pages = PageOf(end - 1) - ev.page + 1;
+  Add(ev);
+}
+
+void TraceWriter::FlushChunk() {
+  if (payload_records_ == 0) return;
+  char frame[12];
+  const std::uint32_t size = static_cast<std::uint32_t>(payload_.size());
+  const std::uint32_t count = static_cast<std::uint32_t>(payload_records_);
+  const std::uint32_t crc = Crc32(payload_);
+  const std::uint32_t words[3] = {size, count, crc};
+  for (int w = 0; w < 3; ++w) {
+    frame[w * 4 + 0] = static_cast<char>(words[w] & 0xff);
+    frame[w * 4 + 1] = static_cast<char>((words[w] >> 8) & 0xff);
+    frame[w * 4 + 2] = static_cast<char>((words[w] >> 16) & 0xff);
+    frame[w * 4 + 3] = static_cast<char>((words[w] >> 24) & 0xff);
+  }
+  body_.append(frame, sizeof frame);
+  body_ += payload_;
+  payload_.clear();
+  payload_records_ = 0;
+  prev_at_ = 0;
+  prev_page_ = 0;
+  ++chunks_;
+}
+
+std::string TraceWriter::Finish() {
+  FlushChunk();
+  return SerializeHeader(meta_, events_, chunks_) + body_;
+}
+
+bool TraceWriter::WriteFile(const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = Finish();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace daos::trace

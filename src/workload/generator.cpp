@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/replay.hpp"
+#include "workload/scenario.hpp"
+
 namespace daos::workload {
 
 SyntheticSource::SyntheticSource(WorkloadProfile profile, std::uint64_t seed)
@@ -190,6 +193,12 @@ sim::ProcessParams ToProcessParams(const WorkloadProfile& profile) {
 
 std::unique_ptr<sim::AccessSource> MakeSource(const WorkloadProfile& profile,
                                               std::uint64_t seed) {
+  if (profile.trace_data != nullptr) {
+    return std::make_unique<trace::TraceReplaySource>(profile.trace_data);
+  }
+  if (IsScenarioPattern(profile.pattern)) {
+    return std::make_unique<ScenarioSource>(profile, seed);
+  }
   return std::make_unique<SyntheticSource>(profile, seed);
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "trace/format.hpp"
+#include "util/strings.hpp"
+
 namespace daos::workload {
 
 std::uint64_t WorkloadProfile::HotBytes() const {
@@ -22,7 +25,41 @@ const WorkloadProfile* FindProfile(std::string_view name) {
   for (const WorkloadProfile& p : AllProfiles()) {
     if (p.name == name) return &p;
   }
+  for (const WorkloadProfile& p : ScenarioProfiles()) {
+    if (p.name == name) return &p;
+  }
   return nullptr;
+}
+
+std::optional<WorkloadProfile> ResolveProfile(std::string_view name,
+                                              std::string* error) {
+  if (StartsWith(name, "trace:")) {
+    const std::string path(name.substr(6));
+    trace::TraceError terr;
+    std::optional<trace::Trace> loaded = trace::ReadTraceFile(path, &terr);
+    if (!loaded.has_value()) {
+      if (error != nullptr) *error = path + ": " + terr.Format();
+      return std::nullopt;
+    }
+    WorkloadProfile p;
+    p.name = std::string(name);
+    p.suite = "trace";
+    // The replayed process must finish on the same quantum the recorded
+    // one did, so its parameters come from the trace header verbatim.
+    p.data_bytes = loaded->meta.data_bytes;
+    p.runtime_s = loaded->meta.runtime_s;
+    p.mem_boundness = loaded->meta.mem_boundness;
+    p.thp_gain = loaded->meta.thp_gain;
+    p.zram_ratio = loaded->meta.zram_ratio;
+    p.noise = 0.0;  // a replay is exact by definition
+    p.zipf_touches_per_s = 0.0;
+    p.groups = {GroupSpec{1.0, 0.0, 1.0, 0.3}};
+    p.trace_data = std::make_shared<const trace::Trace>(std::move(*loaded));
+    return p;
+  }
+  if (const WorkloadProfile* p = FindProfile(name)) return *p;
+  if (error != nullptr) *error = "unknown workload \"" + std::string(name) + "\"";
+  return std::nullopt;
 }
 
 std::vector<std::string> Figure4Names() {

@@ -12,10 +12,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/types.hpp"
+
+namespace daos::trace {
+struct Trace;
+}  // namespace daos::trace
 
 namespace daos::workload {
 
@@ -23,6 +29,12 @@ enum class PatternKind : std::uint8_t {
   kStatic,  // hot window fixed for the whole run
   kScan,    // hot window slides over its group and wraps (sweep)
   kPhased,  // hot window jumps to a new position every phase
+  // Scenario patterns (src/workload/scenario.cpp): application-shaped
+  // streams rather than Figure 6 archetypes.
+  kKvStore,   // zipfian point ops + periodic range scans over a value log
+  kGraph,     // frontier-driven irregular traversal of an edge array
+  kMlTrain,   // epoch-periodic sequential dataset sweeps + hot model state
+  kAntiMerge, // adversarial striping that defeats region merging
 };
 
 /// A set of pages with a shared re-reference behaviour.
@@ -60,6 +72,11 @@ struct WorkloadProfile {
   double zipf_touches_per_s = 24000.0;
   double zipf_exponent = 0.9;
 
+  /// Replay: when set, the workload is a TraceReplaySource over this trace
+  /// instead of a synthetic generator. Shared (immutable) so ParallelRunner
+  /// workers copying the profile by value share one in-memory trace.
+  std::shared_ptr<const trace::Trace> trace_data;
+
   std::uint64_t HotBytes() const;
   /// The RSS the workload reaches with THP off (density-weighted).
   std::uint64_t ExpectedRssBytes() const;
@@ -67,8 +84,19 @@ struct WorkloadProfile {
 
 /// All 24 evaluation workloads (12 Parsec3 + 12 Splash-2x).
 const std::vector<WorkloadProfile>& AllProfiles();
-/// Looks a profile up by full name ("splash2x/ocean_ncp"); null if absent.
+/// The grown scenario library (suite "scenario"): kvstore, graph, mltrain
+/// and the adversarial antimerge pattern. Kept separate from AllProfiles()
+/// — the paper's 24-workload evaluation set stays exactly the paper's.
+const std::vector<WorkloadProfile>& ScenarioProfiles();
+/// Looks a profile up by full name ("splash2x/ocean_ncp",
+/// "scenario/kvstore"); null if absent. Searches both lists.
 const WorkloadProfile* FindProfile(std::string_view name);
+/// Resolves any profile reference a profile name can appear as:
+/// a FindProfile() name, or "trace:<path>" which loads a daos-trace v1
+/// file into a replay profile. On failure returns nullopt with `*error`
+/// set (including line/offset-accurate trace parse errors).
+std::optional<WorkloadProfile> ResolveProfile(std::string_view name,
+                                              std::string* error = nullptr);
 /// The 16 workloads plotted in Figure 4 (space constraints dropped 8).
 std::vector<std::string> Figure4Names();
 

@@ -96,5 +96,27 @@ TEST_F(RecorderTest, NoSnapshotsNoWss) {
   EXPECT_EQ(recorder_.LatestWorkingSetBytes(), 0u);
 }
 
+TEST_F(RecorderTest, ClearRefusedAfterRestoreTail) {
+  // The footgun: a kdamond rebuilt from a checkpoint calls RestoreTail()
+  // to re-seed its history; a later Clear() (the fresh-start path) would
+  // silently truncate every heatmap at the crash point. The recorder must
+  // refuse it and keep the restored history.
+  recorder_.Attach(ctx_);
+  Drive(0, kUsPerSec, true);
+  ASSERT_FALSE(recorder_.snapshots().empty());
+
+  std::vector<Snapshot> tail = recorder_.snapshots();
+  const std::size_t restored_count = tail.size();
+  recorder_.RestoreTail(std::move(tail), recorder_.next());
+  ASSERT_TRUE(recorder_.restored());
+
+  recorder_.Clear();  // refused (DAOS_CHECK logs; no abort, no truncation)
+  EXPECT_EQ(recorder_.snapshots().size(), restored_count);
+
+  // The restored recorder keeps appending normally after the refusal.
+  Drive(kUsPerSec, 2 * kUsPerSec, true);
+  EXPECT_GT(recorder_.snapshots().size(), restored_count);
+}
+
 }  // namespace
 }  // namespace daos::damon

@@ -11,6 +11,8 @@
 #include "lifecycle/checkpoint.hpp"
 #include "lifecycle/supervisor.hpp"
 #include "sim/system.hpp"
+#include "trace/format.hpp"
+#include "trace/ingest.hpp"
 #include "util/units.hpp"
 #include "workload/generator.hpp"
 #include "workload/profile.hpp"
@@ -491,6 +493,273 @@ TEST(MalformedCommitBundleTest, AttrsFieldCountEnforced) {
   EXPECT_FALSE(
       supervisor.ParseCommitBundle("attrs 5000 100000\n", &bundle, &error));
   EXPECT_NE(error.find("attrs expects"), std::string::npos) << error;
+}
+
+// --- daos-trace binary format (src/trace) ----------------------------------
+//
+// Hostile traces must be rejected all-or-nothing with errors that name the
+// failing chunk and byte offset (header problems carry line numbers), and
+// must never be able to request absurd allocations.
+
+std::string U32Le(std::uint32_t v) {
+  std::string out;
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  return out;
+}
+
+std::string Framed(const std::string& payload, std::uint32_t records) {
+  return U32Le(static_cast<std::uint32_t>(payload.size())) + U32Le(records) +
+         U32Le(trace::Crc32(payload)) + payload;
+}
+
+trace::Trace TinyTrace() {
+  trace::Trace t;
+  t.events = {
+      {0, trace::TraceOp::kMap, false, 0x10000, 64, "heap"},
+      {5000, trace::TraceOp::kTouchPage, true, 0x10003, 1, ""},
+  };
+  return t;
+}
+
+TEST(MalformedTraceTest, BadMagicIsLineOne) {
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace("daos-trace v2\nbody\n", &error).has_value());
+  EXPECT_EQ(error.line_number, 1);
+  EXPECT_NE(error.message.find("bad magic"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, BadHeaderValueIsLineAccurate) {
+  std::string text = SerializeTrace(TinyTrace());
+  const std::size_t at = text.find("page_shift 12");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 13, "page_shift 33");  // out of the sane [10, 20] range
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_EQ(error.line_number, 3);  // magic, name, page_shift
+  EXPECT_NE(error.message.find("page_shift"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, MissingRequiredHeaderKeyRejected) {
+  std::string text = SerializeTrace(TinyTrace());
+  const std::size_t at = text.find("events 2\n");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at, 9);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("header missing a required key"),
+            std::string::npos);
+}
+
+TEST(MalformedTraceTest, TruncatedChunkFrameRejected) {
+  const std::string text = SerializeTrace(TinyTrace());
+  const std::size_t body = text.find("body\n");
+  ASSERT_NE(body, std::string::npos);
+  trace::TraceError error;
+  EXPECT_FALSE(
+      trace::ParseTrace(text.substr(0, body + 5 + 5), &error).has_value());
+  EXPECT_NE(error.message.find("chunk 0: truncated chunk frame"),
+            std::string::npos);
+  EXPECT_EQ(error.offset, body + 5);
+}
+
+TEST(MalformedTraceTest, TruncatedChunkPayloadRejected) {
+  std::string text = SerializeTrace(TinyTrace());
+  text.pop_back();
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("chunk 0: truncated chunk payload"),
+            std::string::npos);
+  EXPECT_GT(error.offset, 0u);
+  EXPECT_EQ(error.line_number, 0);
+}
+
+TEST(MalformedTraceTest, CrcMismatchAttributedToChunk) {
+  std::string text = SerializeTrace(TinyTrace());
+  text.back() = static_cast<char>(text.back() ^ 0x40);  // flip a payload bit
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("chunk 0: crc mismatch"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, BadVarintOffsetAccurate) {
+  const std::string header = SerializeHeader(trace::TraceMeta{}, 1, 1);
+  // op byte then a varint whose continuation bit never drops.
+  const std::string text =
+      header + Framed(std::string("\x02") + std::string(10, '\xff'), 1);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("chunk 0: bad varint"), std::string::npos);
+  EXPECT_EQ(error.offset, header.size() + 12);  // the record's first byte
+}
+
+TEST(MalformedTraceTest, BadOpByteRejected) {
+  const std::string text =
+      SerializeHeader(trace::TraceMeta{}, 1, 1) + Framed("\x09", 1);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("chunk 0: bad op byte"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, NegativePageRejected) {
+  // touch, dt=0, page delta zigzag(-5): the cursor would go below page 0.
+  std::string payload("\x02", 1);
+  trace::AppendVarint(payload, 0);
+  trace::AppendVarint(payload, trace::ZigZag(-5));
+  const std::string text =
+      SerializeHeader(trace::TraceMeta{}, 1, 1) + Framed(payload, 1);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("page number out of range"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, ZeroPageCountRejected) {
+  // map, dt=0, page 0, pages=0: an empty mapping is garbage.
+  std::string payload("\x00", 1);
+  trace::AppendVarint(payload, 0);
+  trace::AppendVarint(payload, trace::ZigZag(0));
+  trace::AppendVarint(payload, 0);
+  const std::string text =
+      SerializeHeader(trace::TraceMeta{}, 1, 1) + Framed(payload, 1);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("page count out of range"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, TimestampBackwardsAcrossChunks) {
+  // Chunk-local deltas are non-negative by construction; the cross-chunk
+  // monotonicity is the parser's to enforce. Chunk 0 ends at t=100, chunk
+  // 1 opens at t=50.
+  std::string first("\x02", 1);
+  trace::AppendVarint(first, 100);
+  trace::AppendVarint(first, trace::ZigZag(0));
+  std::string second("\x02", 1);
+  trace::AppendVarint(second, 50);
+  trace::AppendVarint(second, trace::ZigZag(0));
+  const std::string text = SerializeHeader(trace::TraceMeta{}, 2, 2) +
+                           Framed(first, 1) + Framed(second, 1);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("chunk 1: timestamp went backwards"),
+            std::string::npos);
+}
+
+TEST(MalformedTraceTest, TrailingBytesAfterFinalChunkRejected) {
+  const std::string text = SerializeTrace(TinyTrace()) + "x";
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("trailing bytes after final chunk"),
+            std::string::npos);
+}
+
+TEST(MalformedTraceTest, EventCountMismatchWithHeaderRejected) {
+  std::string payload("\x02", 1);
+  trace::AppendVarint(payload, 0);
+  trace::AppendVarint(payload, trace::ZigZag(0));
+  const std::string text =
+      SerializeHeader(trace::TraceMeta{}, 3, 1) + Framed(payload, 1);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("event count mismatch"), std::string::npos);
+}
+
+TEST(MalformedTraceTest, OversizedChunkPayloadRejected) {
+  // A frame claiming a 128 MiB payload must be rejected before any
+  // allocation or scan — the declared size itself is the offense.
+  const std::string text = SerializeHeader(trace::TraceMeta{}, 1, 1) +
+                           U32Le(1u << 27) + U32Le(1) + U32Le(0);
+  trace::TraceError error;
+  EXPECT_FALSE(trace::ParseTrace(text, &error).has_value());
+  EXPECT_NE(error.message.find("payload size too large"), std::string::npos);
+}
+
+// --- trace text ingestion (src/trace/ingest) --------------------------------
+
+TEST(MalformedIngestTest, LackeyBadHexLineAccurate) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestText("== banner ==\n L zzzz,4\n", "x",
+                                 trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_EQ(error.line_number, 2);
+  EXPECT_NE(error.message.find("bad hex address"), std::string::npos);
+}
+
+TEST(MalformedIngestTest, LackeyMissingSizeRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(
+      trace::IngestLackey(" L 1000\n", "x", trace::IngestOptions{}, &error)
+          .has_value());
+  EXPECT_EQ(error.line_number, 1);
+  EXPECT_NE(error.message.find("missing \",size\""), std::string::npos);
+}
+
+TEST(MalformedIngestTest, LackeyUnknownOpCharRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestLackey(" L 1000,4\n X 2000,4\n", "x",
+                                   trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_EQ(error.line_number, 2);
+  EXPECT_NE(error.message.find("unknown op"), std::string::npos);
+}
+
+TEST(MalformedIngestTest, LackeyGiantAccessRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestLackey(" L 1000,2000000000\n", "x",
+                                   trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_NE(error.message.find("bad access size"), std::string::npos);
+}
+
+TEST(MalformedIngestTest, CsvTimeBackwardsLineAccurate) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestText("time_us,op,addr,size\n"
+                                 "5000,r,0x1000,4\n"
+                                 "0,r,0x1000,4\n",
+                                 "x", trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_EQ(error.line_number, 3);
+  EXPECT_NE(error.message.find("time_us went backwards"), std::string::npos);
+}
+
+TEST(MalformedIngestTest, CsvUnknownOpRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestText("0,frobnicate,0x1000,4\n", "x",
+                                 trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_EQ(error.line_number, 1);
+  EXPECT_NE(error.message.find("unknown op \"frobnicate\""),
+            std::string::npos);
+}
+
+TEST(MalformedIngestTest, CsvWrongFieldCountRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(
+      trace::IngestCsv("0,r,0x1000\n", "x", trace::IngestOptions{}, &error)
+          .has_value());
+  EXPECT_NE(error.message.find("expected 4 fields"), std::string::npos);
+}
+
+TEST(MalformedIngestTest, CsvGiantMapRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestText("0,map,0x1000,999999999999999\n", "x",
+                                 trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_NE(error.message.find("bad map size"), std::string::npos);
+}
+
+TEST(MalformedIngestTest, EmptyInputRejected) {
+  trace::IngestError error;
+  EXPECT_FALSE(trace::IngestLackey("== banner only ==\n", "x",
+                                   trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_NE(error.message.find("no data accesses"), std::string::npos);
+  EXPECT_FALSE(trace::IngestText("what is this\n", "x",
+                                 trace::IngestOptions{}, &error)
+                   .has_value());
+  EXPECT_NE(error.message.find("unrecognized trace format"),
+            std::string::npos);
 }
 
 }  // namespace
