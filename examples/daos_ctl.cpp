@@ -27,7 +27,17 @@
 //   daos_ctl replay <in.dtr>               run the trace as a workload
 //   daos_ctl ingest <in.txt> <out.dtr>     convert lackey/CSV text traces
 //
-// All three exit non-zero on a rejected input, with line/offset-accurate
+// Fleet verbs (src/fleet, driven through the /fleet/* files):
+//
+//   daos_ctl fleet-status            run a small demo fleet, print the
+//                                    /fleet/status and /fleet/quarantine
+//                                    files
+//   daos_ctl fleet-rollout <spec>    stage a canary rollout from a spec
+//                                    file; exits non-zero unless the
+//                                    rollout promotes (rejected, rolled
+//                                    back, and aborted all fail)
+//
+// All verbs exit non-zero on a rejected input, with line/offset-accurate
 // errors on stderr.
 #include <cstdio>
 #include <cstring>
@@ -43,7 +53,9 @@
 #include "trace/ingest.hpp"
 #include "trace/writer.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
+#include "dbgfs/fleet_fs.hpp"
 #include "dbgfs/lifecycle_fs.hpp"
+#include "fleet/controller.hpp"
 #include "dbgfs/procfs.hpp"
 #include "dbgfs/telemetry_fs.hpp"
 #include "lifecycle/supervisor.hpp"
@@ -314,6 +326,54 @@ int RunRestore(const char* in_path) {
   return 0;
 }
 
+/// A small fleet the fleet verbs can run in a couple of seconds: 4 shards
+/// of 8 servers each, fully deterministic (no cold strays).
+daos::fleet::FleetConfig DemoFleetConfig() {
+  daos::fleet::FleetConfig config;
+  config.nr_shards = 4;
+  config.workload.nr_processes = 8;
+  config.workload.rss_per_process = 16 * daos::MiB;
+  config.workload.cold_touch_period_s = 0;
+  config.machine = {"fleet-demo", 4, 3.0, daos::GiB};
+  config.swap = daos::sim::SwapConfig::Zram();
+  config.quantum = 5 * daos::kUsPerMs;
+  config.epoch = 250 * daos::kUsPerMs;
+  return config;
+}
+
+int RunFleetStatus() {
+  daos::fleet::FleetController fleet(DemoFleetConfig());
+  daos::dbgfs::PseudoFs fs;
+  daos::dbgfs::FleetFs fleet_fs(&fs, &fleet);
+  for (int epoch = 0; epoch < 8; ++epoch) fleet.RunEpoch();
+  Cat(fs, "/fleet/status");
+  Cat(fs, "/fleet/quarantine");
+  return 0;
+}
+
+int RunFleetRollout(const char* spec_path) {
+  const std::optional<std::string> spec = Slurp(spec_path);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "cannot read rollout spec '%s'\n", spec_path);
+    return 1;
+  }
+  daos::fleet::FleetController fleet(DemoFleetConfig());
+  daos::dbgfs::PseudoFs fs;
+  daos::dbgfs::FleetFs fleet_fs(&fs, &fleet);
+  // Warm up: monitors prime, schemes start applying, health has a baseline.
+  for (int epoch = 0; epoch < 4; ++epoch) fleet.RunEpoch();
+  if (!Echo(fs, *spec, "/fleet/rollout")) {
+    // Rejected spec: nothing staged anywhere, non-zero exit for scripts.
+    Cat(fs, "/fleet/rollout");
+    return 1;
+  }
+  const daos::fleet::RolloutState state = fleet.RunRollout();
+  Cat(fs, "/fleet/status");
+  std::printf("rollout finished: %s\n",
+              std::string(daos::fleet::RolloutStateName(state)).c_str());
+  return state == daos::fleet::RolloutState::kPromoted ? 0 : 1;
+}
+
 int RunDemo();
 
 }  // namespace
@@ -333,6 +393,10 @@ int main(int argc, char** argv) {
       return RunReplay(argv[2]);
     if (std::strcmp(verb, "ingest") == 0 && argc == 4)
       return RunIngest(argv[2], argv[3]);
+    if (std::strcmp(verb, "fleet-status") == 0 && argc == 2)
+      return RunFleetStatus();
+    if (std::strcmp(verb, "fleet-rollout") == 0 && argc == 3)
+      return RunFleetRollout(argv[2]);
     std::fprintf(stderr,
                  "usage: daos_ctl                      # debugfs demo\n"
                  "       daos_ctl commit <bundle>     # staged reconfig\n"
@@ -340,7 +404,9 @@ int main(int argc, char** argv) {
                  "       daos_ctl restore <file>      # boot from state\n"
                  "       daos_ctl record <workload> <out.dtr>\n"
                  "       daos_ctl replay <in.dtr>\n"
-                 "       daos_ctl ingest <in.txt> <out.dtr>\n");
+                 "       daos_ctl ingest <in.txt> <out.dtr>\n"
+                 "       daos_ctl fleet-status        # demo fleet health\n"
+                 "       daos_ctl fleet-rollout <spec>  # canary rollout\n");
     return 2;
   }
   return RunDemo();

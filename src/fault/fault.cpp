@@ -97,26 +97,28 @@ void FaultPoint::Disarm() {
 }
 
 void FaultPoint::ResetSchedule() {
-  hits_ = 0;
-  fires_ = 0;
-  once_done_ = false;
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
   rng_.Reseed(StreamSeed(name_, plane_seed_));
 }
 
 bool FaultPoint::Roll() noexcept {
-  ++hits_;
+  // Claim this check's ordinal atomically; `once=`/`every=` are then pure
+  // functions of the ordinal, so each ordinal-triggered fault fires for
+  // exactly one check even when a plane is shared across threads.
+  const std::uint64_t ordinal =
+      hits_.fetch_add(1, std::memory_order_relaxed) + 1;
   bool fire = false;
-  if (spec_.once_at > 0 && !once_done_ && hits_ == spec_.once_at) {
-    once_done_ = true;
-    fire = true;
-  }
-  if (spec_.every_nth > 0 && hits_ % spec_.every_nth == 0) fire = true;
+  if (spec_.once_at > 0 && ordinal == spec_.once_at) fire = true;
+  if (spec_.every_nth > 0 && ordinal % spec_.every_nth == 0) fire = true;
   // The probability draw happens unconditionally while armed so the RNG
   // stream position depends only on the hit ordinal, not on what the other
-  // triggers decided — combined specs stay replayable.
+  // triggers decided — combined specs stay replayable. The stream is the
+  // one part of a point that is *not* thread-safe: p= requires the plane
+  // to stay thread-confined.
   if (spec_.probability > 0.0 && rng_.NextBool(spec_.probability)) fire = true;
   if (fire) {
-    ++fires_;
+    fires_.fetch_add(1, std::memory_order_relaxed);
     if (fires_counter_ != nullptr) fires_counter_->Add();
   }
   return fire;

@@ -24,6 +24,7 @@
 // kernel fault-injection style:  "swap.write_error p=0.2 every=100".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,6 +47,13 @@ inline constexpr std::string_view kThpCollapseFail = "thp.collapse_fail";
 inline constexpr std::string_view kDaemonOverrun = "daemon.overrun";
 inline constexpr std::string_view kDaemonCrash = "daemon.crash";
 inline constexpr std::string_view kTrialHang = "trial.hang";
+// Fleet rollout controller points (src/fleet). Checked on the controller's
+// serial path against each shard's own thread-confined plane, so `once=`
+// means "once per shard" and a given seed replays the same fleet schedule
+// at any DAOS_JOBS.
+inline constexpr std::string_view kFleetShardCrash = "fleet.shard_crash";
+inline constexpr std::string_view kFleetRollbackFail = "fleet.rollback_fail";
+inline constexpr std::string_view kFleetTelemetryLoss = "fleet.telemetry_loss";
 
 /// Trigger configuration of one fault point. A point is armed when any
 /// trigger is set; triggers combine (any firing one injects the fault).
@@ -75,9 +83,13 @@ class FaultPoint {
   const FaultSpec& spec() const noexcept { return spec_; }
   bool armed() const noexcept { return armed_; }
   /// Checks observed since the point was last (re)armed or reseeded.
-  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
   /// Faults injected since the point was last (re)armed or reseeded.
-  std::uint64_t fires() const noexcept { return fires_; }
+  std::uint64_t fires() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
 
   /// Installs `spec` and restarts the schedule (ordinals and the RNG stream
   /// rewind, so arming is reproducible regardless of prior checks).
@@ -98,9 +110,16 @@ class FaultPoint {
   bool armed_ = false;
   FaultSpec spec_;
   Rng rng_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t fires_ = 0;
-  bool once_done_ = false;
+  // Check ordinals are claimed with one atomic increment: `once=`/`every=`
+  // decisions are a pure function of the claimed ordinal, so they stay
+  // exact even if a plane is shared across parallel-runner workers (the
+  // old plain counter could hand the once_at ordinal to two racing
+  // threads — double fire — or skip past it — no fire). `p=` draws and
+  // (re)arming still require thread confinement: the RNG stream is not
+  // synchronized, by design — one plane per worker/shard is the supported
+  // shape, and there `once=` means once per plane.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
   telemetry::Counter* fires_counter_ = nullptr;  // null until telemetry bound
 };
 

@@ -211,6 +211,21 @@ bool KdamondSupervisor::StageCommit(CommitBundle bundle, std::string* error) {
       return reject("attrs: aggregation interval below sampling interval");
     if (a.min_nr_regions == 0 || a.max_nr_regions < a.min_nr_regions)
       return reject("attrs: need 0 < min_nr_regions <= max_nr_regions");
+    // The restart-budget window slides in sim-clock deltas but its quiet
+    // check only happens at stepping cadence; an aggregation interval
+    // larger than the window would leave zero window boundaries inside it
+    // (checkpoints and the degraded re-arm both align to boundaries), and
+    // clamping silently would widen a window the operator configured.
+    // Reject the bundle instead — mid-run reconfiguration must keep at
+    // least one full aggregation window inside the budget window.
+    if (config_.restart_budget_window > 0 &&
+        a.aggregation_interval > config_.restart_budget_window)
+      return reject(
+          "attrs: aggregation interval " +
+          std::to_string(a.aggregation_interval) +
+          "us exceeds the restart budget window " +
+          std::to_string(config_.restart_budget_window) +
+          "us (zero aggregation windows would fit the sliding window)");
   }
   if (bundle.schemes.has_value()) {
     // Scheme lines were validated at parse time; a programmatic bundle
@@ -246,6 +261,13 @@ bool KdamondSupervisor::CommitFromText(std::string_view text,
     return false;
   }
   return StageCommit(std::move(bundle), error);
+}
+
+void KdamondSupervisor::CancelStagedCommit() {
+  if (!staged_.has_value()) return;
+  staged_.reset();
+  last_commit_result_ = "cancelled";
+  if (state_ == SupervisorState::kDraining) state_ = SupervisorState::kRunning;
 }
 
 void KdamondSupervisor::ApplyStagedCommit(SimTimeUs now) {
@@ -366,8 +388,14 @@ void KdamondSupervisor::SuperviseDead(SimTimeUs now) {
   if (now >= restart_at_) Restart(now);
 }
 
+SimTimeUs KdamondSupervisor::EffectiveBudgetWindow() const noexcept {
+  const SimTimeUs floor =
+      std::max<SimTimeUs>(current_attrs_.aggregation_interval, 1);
+  return std::max(config_.restart_budget_window, floor);
+}
+
 void KdamondSupervisor::RollBudgetWindow(SimTimeUs now) {
-  if (now < budget_window_start_ + config_.restart_budget_window) return;
+  if (now < budget_window_start_ + EffectiveBudgetWindow()) return;
   budget_window_start_ = now;
   restarts_in_window_ = 0;
   backoff_exp_ = 0;
@@ -440,6 +468,7 @@ std::string KdamondSupervisor::StateText() const {
   std::snprintf(buf, sizeof buf, "restart_budget %u/%u\n",
                 restarts_in_window_, config_.restart_budget);
   out += buf;
+  line("budget_window_us", EffectiveBudgetWindow());
   line("backoff_exp", backoff_exp_);
   line("restart_at", restart_at_);
   line("last_checkpoint_at", last_checkpoint_at_);

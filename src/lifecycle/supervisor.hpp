@@ -178,6 +178,11 @@ class KdamondSupervisor {
   bool CommitFromText(std::string_view text, std::string* error);
 
   bool commit_pending() const noexcept { return staged_.has_value(); }
+  /// Drops a staged-but-unapplied bundle (kDraining falls back to
+  /// kRunning). The fleet rollback path calls this before restoring a
+  /// pre-wave checkpoint: a bundle left staged would re-apply after the
+  /// restore and silently undo the rollback.
+  void CancelStagedCommit();
   /// Human-readable outcome of the most recent commit attempt.
   const std::string& last_commit_result() const noexcept {
     return last_commit_result_;
@@ -209,6 +214,16 @@ class KdamondSupervisor {
   bool alive() const noexcept { return alive_; }
   SupervisorState state() const noexcept { return state_; }
   const LifecycleCounters& counters() const noexcept { return counters_; }
+
+  /// The restart-budget sliding window actually used, clamped to at least
+  /// one aggregation interval (and never zero): a zero-width window would
+  /// roll on every step, resetting the backoff and re-arming a degraded
+  /// engine continuously — crash containment silently off. The clamp
+  /// covers a zero `restart_budget_window` configuration; the commit path
+  /// refuses attrs that would push the aggregation interval past the
+  /// configured window (StageCommit), so the clamp never silently *grows*
+  /// a window the operator set.
+  SimTimeUs EffectiveBudgetWindow() const noexcept;
 
   /// The "/state" read: one "key value" pair per line.
   std::string StateText() const;

@@ -28,13 +28,17 @@ sim::TouchStats ServerSource::EmitQuantum(sim::AddressSpace& space,
                       kPageSize);
   st += space.TouchRange(base_, ws_end, rng_.NextBool(0.4), now);
 
-  // Rare stray request into the cold part.
-  const double p = static_cast<double>(quantum) /
-                   (config_.cold_touch_period_s * kUsPerSec);
-  if (rng_.NextBool(p)) {
-    const std::uint64_t cold_pages = (end - ws_end) / kPageSize;
-    const Addr a = ws_end + rng_.NextBounded(cold_pages) * kPageSize;
-    st += space.TouchPage(a, false, now);
+  // Rare stray request into the cold part. A non-positive period disables
+  // strays entirely (the fleet determinism suite pins the cold half idle);
+  // dividing by it instead would make p infinite and stray every quantum.
+  if (config_.cold_touch_period_s > 0) {
+    const double p = static_cast<double>(quantum) /
+                     (config_.cold_touch_period_s * kUsPerSec);
+    if (rng_.NextBool(p)) {
+      const std::uint64_t cold_pages = (end - ws_end) / kPageSize;
+      const Addr a = ws_end + rng_.NextBounded(cold_pages) * kPageSize;
+      st += space.TouchPage(a, false, now);
+    }
   }
   return st;
 }

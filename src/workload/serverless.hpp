@@ -18,6 +18,8 @@ struct ServerlessConfig {
   /// Fraction of the RSS that is actually the working set (paper: ~10 %).
   double working_set_frac = 0.10;
   /// Mean seconds between touches of a random cold page (rare lookups).
+  /// Non-positive disables the strays (fully deterministic cold half, as
+  /// the fleet rollback bit-identity property requires).
   double cold_touch_period_s = 120.0;
   double zram_ratio = 3.0;
 };

@@ -330,4 +330,71 @@ TEST(LifecycleStressTest, SurvivesEnvFaultInjection) {
   EXPECT_NE(checkpoint.find("daos-checkpoint v1\n"), std::string::npos);
 }
 
+TEST(LifecycleBudgetTest, ZeroWidthWindowClampsToAggregationInterval) {
+  // A zero-width sliding window would roll on every step and re-arm a
+  // degraded engine continuously — crash containment silently off. The
+  // effective window must clamp to at least one aggregation interval.
+  lifecycle::SupervisorConfig config = FastCrashConfig();
+  config.restart_budget_window = 0;
+  Rig rig(config);
+  rig.InstallOrDie("min max min min min max stat");
+  EXPECT_EQ(rig.supervisor.EffectiveBudgetWindow(),
+            rig.supervisor.context().attrs().aggregation_interval);
+  EXPECT_GT(rig.supervisor.EffectiveBudgetWindow(), 0u);
+  EXPECT_NE(rig.supervisor.StateText().find("budget_window_us "),
+            std::string::npos)
+      << rig.supervisor.StateText();
+}
+
+TEST(LifecycleBudgetTest, CommitRejectsAggregationWiderThanWindow) {
+  // The clamp never silently *grows* a window the operator set: a bundle
+  // whose aggregation interval exceeds the configured window is refused at
+  // staging time, all-or-nothing.
+  lifecycle::SupervisorConfig config;
+  config.restart_budget_window = 1 * kUsPerSec;
+  Rig rig(config);
+  rig.space.TouchRange(kBase, kBase + kHeap, true, 0);
+  rig.InstallOrDie("min max min min min max stat");
+  rig.system.Run(1 * kUsPerSec);
+
+  std::string error;
+  EXPECT_FALSE(rig.supervisor.CommitFromText(
+      "attrs 5000 2000000 4000000 10 1000\n", &error));
+  EXPECT_NE(error.find("restart budget window"), std::string::npos) << error;
+  EXPECT_FALSE(rig.supervisor.commit_pending());
+  EXPECT_EQ(rig.supervisor.counters().commits, 0u);
+  EXPECT_EQ(rig.supervisor.counters().rollbacks, 1u);
+  EXPECT_EQ(rig.supervisor.context().attrs().aggregation_interval,
+            100 * kUsPerMs)
+      << "rejected attrs must leave the running configuration untouched";
+
+  // The same bundle inside the window is accepted.
+  EXPECT_TRUE(rig.supervisor.CommitFromText(
+      "attrs 5000 500000 1000000 10 1000\n", &error))
+      << error;
+}
+
+TEST(LifecycleCommitTest, CancelStagedCommitDropsTheBundle) {
+  Rig rig;
+  rig.space.TouchRange(kBase, kBase + kHeap, true, 0);
+  rig.InstallOrDie("min max min min min max stat");
+  rig.system.Run(1 * kUsPerSec);
+
+  ASSERT_TRUE(rig.supervisor.CommitFromText(
+      "attrs 5000 200000 1000000 10 1000\n", nullptr));
+  ASSERT_TRUE(rig.supervisor.commit_pending());
+  ASSERT_EQ(rig.supervisor.state(), lifecycle::SupervisorState::kDraining);
+
+  rig.supervisor.CancelStagedCommit();
+  EXPECT_FALSE(rig.supervisor.commit_pending());
+  EXPECT_EQ(rig.supervisor.state(), lifecycle::SupervisorState::kRunning);
+  EXPECT_EQ(rig.supervisor.last_commit_result(), "cancelled");
+
+  // Nothing applies later: the bundle is gone, not deferred.
+  rig.system.Run(2 * kUsPerSec);
+  EXPECT_EQ(rig.supervisor.counters().commits, 0u);
+  EXPECT_EQ(rig.supervisor.context().attrs().aggregation_interval,
+            100 * kUsPerMs);
+}
+
 }  // namespace
