@@ -1,0 +1,245 @@
+// Tiered-memory placement bench: does access-aware DAMOS migration beat
+// static placement and LRU-only demotion?
+//
+// Grid: 3 workloads (phased / scan / churn hot sets, each bigger than the
+// fast tier) x 2 tier geometries (dram+cxl, dram+cxl+file) x 3 placement
+// policies:
+//
+//   static — first-fit placement at fault time, never moved (TierPolicy
+//            kNone, no schemes): the fast tier keeps whatever faulted
+//            first, forever
+//   lru    — static + the kernel-style LRU demotion balancer (TierPolicy
+//            kLruDemote): idle fast-tier pages demote, so refaults land
+//            fast, but resident-slow hot pages are never promoted
+//   damos  — static + migrate_hot/migrate_cold schemes under governor
+//            quotas: hot slow pages promote without waiting for a swap
+//            round-trip, cold fast pages demote to make room
+//
+// Reported per cell: workload runtime, the hot-cold mismatch gauge
+// (sim.tier.hot_mismatch_permille, last snapshot), slow touches, and the
+// migration counters. The headline claim — access-aware placement wins —
+// requires damos to beat BOTH baselines on runtime in every cell.
+//
+// Results append an entry to BENCH_tiering.json in the working directory.
+//
+// Build & run:  ./build/bench/fig_tiering
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "damos/parser.hpp"
+#include "sim/tier.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace daos;
+
+struct GeometryCase {
+  const char* name;
+  const char* text;  // ParseTierGeometry grammar, as a /tier/geometry write
+};
+
+// Both geometries undersize the fast tier against the hot set (72M phased
+// window vs 64M/48M dram) and the total against the ~360M RSS, so the
+// bottom tier stays under watermark pressure: placement decisions, not
+// capacity, separate the policies.
+const GeometryCase kGeometries[] = {
+    {"dram64M+cxl256M", "dram 64M\ncxl 256M lat=0.6 bw=8G"},
+    {"dram48M+cxl96M+file192M",
+     "dram 48M\ncxl 96M lat=0.4\nfile 192M lat=2.0 bw=1G"},
+};
+
+// The migrate pair: promote anything accessed, demote anything idle >= 2s,
+// both capped at 64M per 1s window so promotion can never thrash against
+// demotion faster than the governor allows.
+constexpr const char* kMigrateSchemes =
+    "min max 1 max min max migrate_hot quota_sz=128M quota_reset_ms=1000\n"
+    "min max min min 1s max migrate_cold quota_sz=128M quota_reset_ms=1000\n";
+
+workload::WorkloadProfile MakeProfile(const char* name,
+                                      workload::PatternKind pattern,
+                                      double phase_period_s,
+                                      double warm_period_s) {
+  workload::WorkloadProfile p;
+  p.name = name;
+  p.suite = "tier";
+  p.data_bytes = 360 * MiB;
+  p.runtime_s = 45.0;
+  p.mem_boundness = 0.6;
+  p.thp_gain = 0.0;
+  p.noise = 0.0;
+  p.pattern = pattern;
+  p.phase_period_s = phase_period_s;
+  // Group 0 (hot) is 180M — its moving window does not fit either fast
+  // tier; the warm group refaults periodically; the cold tail exists to be
+  // swapped, keeping the bottom tier churning.
+  p.groups = {{0.5, 0.0, 1.0, 0.3},
+              {0.25, warm_period_s, 1.0, 0.3},
+              {0.25, -1.0, 1.0, 0.1}};
+  return p;
+}
+
+std::vector<workload::WorkloadProfile> Workloads() {
+  return {
+      MakeProfile("tier/phased", workload::PatternKind::kPhased, 5.0, 3.0),
+      MakeProfile("tier/scan", workload::PatternKind::kScan, 20.0, 3.0),
+      MakeProfile("tier/churn", workload::PatternKind::kPhased, 2.5, 1.0),
+  };
+}
+
+struct Cell {
+  std::string workload;
+  std::string geometry;
+  std::string policy;
+  double runtime_s = 0.0;
+  double mismatch_permille = 0.0;  // sim.tier.hot_mismatch_permille gauge
+  double slow_touches = 0.0;
+  double promoted = 0.0;
+  double demoted = 0.0;
+  std::uint64_t major_faults = 0;
+};
+
+Cell RunCell(const workload::WorkloadProfile& profile,
+             const GeometryCase& geometry, const char* policy) {
+  analysis::ExperimentOptions options = bench::DefaultOptions(/*seed=*/11);
+  options.apply_runtime_noise = false;
+  std::string error;
+  if (!sim::ParseTierGeometry(geometry.text, &options.tiers, &error)) {
+    std::fprintf(stderr, "geometry %s rejected: %s\n", geometry.name,
+                 error.c_str());
+    std::exit(1);
+  }
+
+  analysis::Config config = analysis::Config::kBaseline;
+  std::vector<damos::Scheme> schemes;
+  if (std::string_view(policy) == "lru") {
+    options.tier_policy = sim::TierPolicy::kLruDemote;
+  } else if (std::string_view(policy) == "damos") {
+    const damos::ParseResult parsed = damos::ParseSchemes(kMigrateSchemes);
+    if (!parsed.errors.empty()) {
+      std::fprintf(stderr, "migrate schemes rejected: line %d: %s\n",
+                   parsed.errors[0].line_number,
+                   parsed.errors[0].message.c_str());
+      std::exit(1);
+    }
+    schemes = parsed.schemes;
+    config = analysis::Config::kSchemes;
+  }
+
+  const analysis::ExperimentResult result = analysis::RunWorkload(
+      profile, config, options, schemes.empty() ? nullptr : &schemes);
+
+  Cell cell;
+  cell.workload = profile.name;
+  cell.geometry = geometry.name;
+  cell.policy = policy;
+  cell.runtime_s = result.runtime_s;
+  cell.mismatch_permille =
+      result.telemetry.Value("sim.tier.hot_mismatch_permille");
+  cell.slow_touches = result.telemetry.Value("sim.tier.slow_touches");
+  cell.promoted = result.telemetry.Value("sim.tier.promoted_pages");
+  cell.demoted = result.telemetry.Value("sim.tier.demoted_pages");
+  cell.major_faults = result.major_faults;
+  return cell;
+}
+
+void AppendJson(const std::vector<Cell>& cells, int wins, int total) {
+  // Same trajectory convention as the other benches: a JSON array,
+  // appended by rewriting the closing bracket.
+  const char* path = "BENCH_tiering.json";
+  std::string existing;
+  if (std::FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      existing.append(buf, n);
+    std::fclose(f);
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' '))
+    existing.pop_back();
+  std::string out;
+  if (existing.size() > 1 && existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' '))
+      existing.pop_back();
+    out = existing + ",\n";
+  } else {
+    out = "[\n";
+  }
+  out += "  {\"bench\": \"fig_tiering\", \"damos_wins\": " +
+         std::to_string(wins) + ", \"cells_total\": " +
+         std::to_string(total) + ", \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"workload\": \"%s\", \"geometry\": \"%s\", \"policy\": "
+        "\"%s\", \"runtime_s\": %.3f, \"mismatch_permille\": %.0f, "
+        "\"slow_touches\": %.0f, \"promoted_pages\": %.0f, "
+        "\"demoted_pages\": %.0f, \"major_faults\": %llu}",
+        c.workload.c_str(), c.geometry.c_str(), c.policy.c_str(),
+        c.runtime_s, c.mismatch_permille, c.slow_touches, c.promoted,
+        c.demoted, static_cast<unsigned long long>(c.major_faults));
+    out += buf;
+    out += (i + 1 < cells.size()) ? ",\n" : "\n";
+  }
+  out += "  ]}\n]\n";
+  if (std::FILE* f = std::fopen(path, "wb")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\ntrajectory entry appended to %s\n", path);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("fig_tiering",
+                     "access-aware DAMOS migration vs static / LRU-demote "
+                     "placement across tier geometries");
+
+  const char* policies[] = {"static", "lru", "damos"};
+  std::vector<Cell> cells;
+  for (const workload::WorkloadProfile& profile : Workloads()) {
+    for (const GeometryCase& geometry : kGeometries) {
+      for (const char* policy : policies)
+        cells.push_back(RunCell(profile, geometry, policy));
+    }
+  }
+
+  std::printf("%-12s %-24s %-7s %10s %9s %13s %10s %10s %8s\n", "workload",
+              "geometry", "policy", "runtime_s", "mismatch", "slow_touches",
+              "promoted", "demoted", "majflt");
+  int wins = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < cells.size(); i += 3) {
+    const Cell& st = cells[i];
+    const Cell& lru = cells[i + 1];
+    const Cell& da = cells[i + 2];
+    for (std::size_t k = i; k < i + 3; ++k) {
+      const Cell& c = cells[k];
+      std::printf("%-12s %-24s %-7s %10.2f %8.0f\xE2\x80\xB0 %13.0f %10.0f "
+                  "%10.0f %8llu\n",
+                  c.workload.c_str(), c.geometry.c_str(), c.policy.c_str(),
+                  c.runtime_s, c.mismatch_permille, c.slow_touches,
+                  c.promoted, c.demoted,
+                  static_cast<unsigned long long>(c.major_faults));
+    }
+    ++total;
+    const bool win =
+        da.runtime_s < st.runtime_s && da.runtime_s < lru.runtime_s;
+    if (win) ++wins;
+    std::printf("  -> damos %s (%.2fs vs static %.2fs, lru %.2fs)\n",
+                win ? "wins" : "LOSES", da.runtime_s, st.runtime_s,
+                lru.runtime_s);
+  }
+  std::printf("\ndamos wins %d / %d cells\n", wins, total);
+
+  AppendJson(cells, wins, total);
+  return wins == total ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 // Runner micro-bench: what does the parallel experiment runner buy, and
 // does it change the results?
 //
-// Runs a 40-run grid (5 configs x 4 seeds x 2 workloads — one synthetic,
-// one scenario) through ParallelRunner at 1, 2, and N worker threads
+// Runs a 48-run grid (5 configs x 4 seeds x 2 workloads — one synthetic,
+// one scenario — plus 8 tiered-machine runs: LRU-demote placement and
+// DAMOS migrate schemes x 4 seeds) through ParallelRunner at 1, 2, and N
+// worker threads
 // (N = DAOS_JOBS or the hardware concurrency), records the wall-clock
 // speedup, and verifies the results are bit-identical across thread
 // counts — the determinism contract the test suite also asserts. The grid
@@ -20,6 +22,8 @@
 
 #include "analysis/runner.hpp"
 #include "bench/common.hpp"
+#include "damos/parser.hpp"
+#include "sim/tier.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -72,6 +76,42 @@ std::vector<analysis::RunSpec> BuildGrid() {
         spec.options.seed = seed;
         specs.push_back(spec);
       }
+    }
+  }
+  // Tiered riders: the determinism contract must hold with the tier
+  // substrate armed too — once via the LRU balancer, once via DAMOS
+  // migrate schemes under governor quotas.
+  sim::TierGeometry tiers;
+  std::string error;
+  if (!sim::ParseTierGeometry("dram 32M\ncxl 256M lat=0.6 bw=8G", &tiers,
+                              &error)) {
+    std::fprintf(stderr, "tier grid geometry rejected: %s\n", error.c_str());
+    std::exit(1);
+  }
+  const damos::ParseResult migrate = damos::ParseSchemes(
+      "min max 1 max min max migrate_hot quota_sz=64M quota_reset_ms=1000\n"
+      "min max min min 1s max migrate_cold quota_sz=64M "
+      "quota_reset_ms=1000\n");
+  if (!migrate.ok()) {
+    std::fprintf(stderr, "tier grid schemes rejected\n");
+    std::exit(1);
+  }
+  for (const bool damos_run : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      analysis::RunSpec spec;
+      spec.profile = GridProfile();
+      spec.options.max_time = 120 * kUsPerSec;
+      spec.options.apply_runtime_noise = false;
+      spec.options.seed = seed;
+      spec.options.tiers = tiers;
+      if (damos_run) {
+        spec.config = analysis::Config::kSchemes;
+        spec.schemes = migrate.schemes;
+      } else {
+        spec.config = analysis::Config::kBaseline;
+        spec.options.tier_policy = sim::TierPolicy::kLruDemote;
+      }
+      specs.push_back(spec);
     }
   }
   return specs;
@@ -171,8 +211,8 @@ int main() {
   std::vector<unsigned> counts = {1, 2};
   if (std::find(counts.begin(), counts.end(), n) == counts.end())
     counts.push_back(n);
-  std::printf("grid: %zu runs (5 configs x 4 seeds x 2 workloads); "
-              "thread counts:", specs.size());
+  std::printf("grid: %zu runs (5 configs x 4 seeds x 2 workloads + 8 "
+              "tiered); thread counts:", specs.size());
   for (unsigned c : counts) std::printf(" %u", c);
   std::printf("\n\n");
 

@@ -27,6 +27,14 @@
 //   daos_ctl replay <in.dtr>               run the trace as a workload
 //   daos_ctl ingest <in.txt> <out.dtr>     convert lackey/CSV text traces
 //
+// Tier verbs (src/sim tiering, driven through the /tier/* files):
+//
+//   daos_ctl tier-status             boot a tiered guest (dram + cxl),
+//                                    install migrate_hot/migrate_cold
+//                                    schemes through /damon/schemes, run a
+//                                    workload, print /tier/status and
+//                                    /tier/geometry
+//
 // Fleet verbs (src/fleet, driven through the /fleet/* files):
 //
 //   daos_ctl fleet-status            run a small demo fleet, print the
@@ -58,6 +66,7 @@
 #include "fleet/controller.hpp"
 #include "dbgfs/procfs.hpp"
 #include "dbgfs/telemetry_fs.hpp"
+#include "dbgfs/tier_fs.hpp"
 #include "lifecycle/supervisor.hpp"
 #include "sim/system.hpp"
 #include "telemetry/metrics.hpp"
@@ -341,6 +350,50 @@ daos::fleet::FleetConfig DemoFleetConfig() {
   return config;
 }
 
+/// `daos_ctl tier-status`: the §3.6 workflow against a tiered guest. The
+/// geometry goes in through /tier/geometry (before anything is mapped, the
+/// only time the write is legal), the migrate schemes through
+/// /damon/schemes, and the resulting placement comes back out of
+/// /tier/status — string files end to end, like every other verb.
+int RunTierStatus() {
+  using namespace daos;
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  dbgfs::PseudoFs fs;
+  dbgfs::TierFs tier_fs(&fs, &system.machine());
+
+  bool ok = true;
+  // Small fast tier on purpose: the workload's hot set cannot all start
+  // there, so the migrate schemes have real promotion work to show.
+  ok &= Echo(fs, "dram 96M\ncxl 1G lat=0.6 bw=8G", "/tier/geometry");
+
+  const workload::WorkloadProfile* profile =
+      workload::FindProfile("parsec3/freqmine");
+  sim::Process& proc = system.AddProcess(workload::ToProcessParams(*profile),
+                                         workload::MakeSource(*profile, 11));
+  dbgfs::DamonDbgfs damon_fs(&system, &fs);
+
+  ok &= Echo(fs, std::to_string(proc.pid()), "/damon/target_ids");
+  ok &= Echo(fs,
+             "min max 1 max min max migrate_hot "
+             "quota_sz=64M quota_reset_ms=1000\n"
+             "min max min min 2s max migrate_cold "
+             "quota_sz=64M quota_reset_ms=1000",
+             "/damon/schemes");
+  ok &= Echo(fs, "on", "/damon/monitor_on");
+  if (!ok) return 1;
+
+  system.Run(60 * kUsPerSec);
+  std::printf("\n");
+  Cat(fs, "/tier/geometry");
+  Cat(fs, "/tier/status");
+  // A geometry change under live frames must fail like offlining populated
+  // memory: show the rejection the same way a script would see it.
+  Echo(fs, "dram 1G", "/tier/geometry");
+  return 0;
+}
+
 int RunFleetStatus() {
   daos::fleet::FleetController fleet(DemoFleetConfig());
   daos::dbgfs::PseudoFs fs;
@@ -393,6 +446,8 @@ int main(int argc, char** argv) {
       return RunReplay(argv[2]);
     if (std::strcmp(verb, "ingest") == 0 && argc == 4)
       return RunIngest(argv[2], argv[3]);
+    if (std::strcmp(verb, "tier-status") == 0 && argc == 2)
+      return RunTierStatus();
     if (std::strcmp(verb, "fleet-status") == 0 && argc == 2)
       return RunFleetStatus();
     if (std::strcmp(verb, "fleet-rollout") == 0 && argc == 3)
@@ -405,6 +460,7 @@ int main(int argc, char** argv) {
                  "       daos_ctl record <workload> <out.dtr>\n"
                  "       daos_ctl replay <in.dtr>\n"
                  "       daos_ctl ingest <in.txt> <out.dtr>\n"
+                 "       daos_ctl tier-status         # tiered-memory demo\n"
                  "       daos_ctl fleet-status        # demo fleet health\n"
                  "       daos_ctl fleet-rollout <spec>  # canary rollout\n");
     return 2;

@@ -6,6 +6,7 @@
 #include "damon/primitives.hpp"
 #include "damos/engine.hpp"
 #include "sim/system.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 
@@ -72,6 +73,19 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
   const sim::ThpMode thp =
       config == Config::kThp ? sim::ThpMode::kAlways : sim::ThpMode::kNever;
   sim::System system(guest, options.swap, thp, options.quantum);
+  if (options.tiers.tiered()) {
+    // Must precede AttachTelemetry (tier instruments bind only when the
+    // machine is tiered) and any mapping (geometry is frozen afterwards).
+    std::string tier_error;
+    if (!DAOS_CHECK(system.machine().SetTierGeometry(options.tiers,
+                                                     &tier_error))) {
+      ExperimentResult failed;
+      failed.workload = profile.name;
+      failed.config = config;
+      return failed;
+    }
+    system.machine().set_tier_policy(options.tier_policy);
+  }
 
   // Every run carries the unified telemetry plane; the snapshot taken at
   // the end outlives the registry and ships in the result.
@@ -113,6 +127,10 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
     if (!schemes.empty()) {
       engine.Install(std::move(schemes));
       engine.Attach(*ctx);
+      // The machine supplies the governor's cost model (bandwidth-derived
+      // migration costs) and watermark metric. Disarmed policies make this
+      // a no-op for the pre-governor scheme sets.
+      engine.SetMachine(&system.machine());
       engine.BindTelemetry(registry);
     }
     if (recorder != nullptr) recorder->Attach(*ctx);

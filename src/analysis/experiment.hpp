@@ -54,6 +54,11 @@ struct ExperimentOptions {
   /// trace::TraceWriter). Like `recorder` below it belongs to exactly one
   /// run: never share one tap across ParallelRunner specs.
   sim::AccessTap* record_tap = nullptr;
+  /// Multi-tier memory geometry, installed on the guest machine before the
+  /// workload maps anything. The default (empty) geometry keeps the machine
+  /// untiered and the run bit-identical to the pre-tier engine.
+  sim::TierGeometry tiers;
+  sim::TierPolicy tier_policy = sim::TierPolicy::kNone;
 };
 
 struct ExperimentResult {

@@ -21,6 +21,10 @@ std::string_view DamosActionName(DamosAction action) {
       return "nohugepage";
     case DamosAction::kStat:
       return "stat";
+    case DamosAction::kMigrateHot:
+      return "migrate_hot";
+    case DamosAction::kMigrateCold:
+      return "migrate_cold";
   }
   return "?";
 }
@@ -43,6 +47,10 @@ std::uint64_t ApplyToSpace(sim::AddressSpace& space, DamosAction action,
       return space.DemoteRange(start, end);
     case DamosAction::kStat:
       return end - start;  // pure accounting, no side effect
+    case DamosAction::kMigrateHot:
+      return space.MigrateRange(start, end, now, /*promote=*/true, errors);
+    case DamosAction::kMigrateCold:
+      return space.MigrateRange(start, end, now, /*promote=*/false, errors);
   }
   return 0;
 }

@@ -32,6 +32,8 @@ enum class DamosAction : std::uint8_t {
   kHugepage,    // THP-promote the region
   kNohugepage,  // THP-demote the region (frees bloat sub-pages)
   kStat,        // only count matching regions (working-set estimation, tuning)
+  kMigrateHot,  // move the region into the fast memory tier
+  kMigrateCold, // move the region down to a slower memory tier
 };
 
 std::string_view DamosActionName(DamosAction action);

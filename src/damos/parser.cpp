@@ -61,6 +61,10 @@ bool ParseAction(std::string_view token, damon::DamosAction* out) {
     *out = damon::DamosAction::kCold;
   } else if (t == "stat") {
     *out = damon::DamosAction::kStat;
+  } else if (t == "migrate_hot") {
+    *out = damon::DamosAction::kMigrateHot;
+  } else if (t == "migrate_cold") {
+    *out = damon::DamosAction::kMigrateCold;
   } else {
     return false;
   }

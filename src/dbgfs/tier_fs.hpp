@@ -1,0 +1,36 @@
+// Debugfs view of the machine's tiered-memory substrate:
+//
+//   /tier/status    (read-only)  per-tier occupancy, policy, migration and
+//                                hot-miss counters — Machine::TierStatusText
+//   /tier/geometry  (read/write) the installed TierGeometry in the same
+//                                `<kind> <capacity> [lat=..] [bw=..]` grammar
+//                                ParseTierGeometry accepts; writes are
+//                                rejected with line-accurate errors, and any
+//                                write while frames are in use fails like
+//                                offlining populated memory would
+#pragma once
+
+#include <string>
+
+#include "dbgfs/pseudo_fs.hpp"
+
+namespace daos::sim {
+class Machine;
+}  // namespace daos::sim
+
+namespace daos::dbgfs {
+
+class TierFs {
+ public:
+  TierFs(PseudoFs* fs, sim::Machine* machine, std::string dir = "/tier");
+  ~TierFs();
+
+  TierFs(const TierFs&) = delete;
+  TierFs& operator=(const TierFs&) = delete;
+
+ private:
+  PseudoFs* fs_;
+  std::string dir_;
+};
+
+}  // namespace daos::dbgfs

@@ -44,6 +44,7 @@ inline constexpr std::string_view kSwapWriteError = "swap.write_error";
 inline constexpr std::string_view kSwapSlotExhausted = "swap.slot_exhausted";
 inline constexpr std::string_view kAllocFrameFail = "alloc.frame_fail";
 inline constexpr std::string_view kThpCollapseFail = "thp.collapse_fail";
+inline constexpr std::string_view kTierMigrateFail = "tier.migrate_fail";
 inline constexpr std::string_view kDaemonOverrun = "daemon.overrun";
 inline constexpr std::string_view kDaemonCrash = "daemon.crash";
 inline constexpr std::string_view kTrialHang = "trial.hang";

@@ -18,10 +18,12 @@ bool ColdFirst(damon::DamosAction action) noexcept {
     case damon::DamosAction::kPageout:
     case damon::DamosAction::kCold:
     case damon::DamosAction::kNohugepage:
+    case damon::DamosAction::kMigrateCold:
       return true;
     case damon::DamosAction::kWillneed:
     case damon::DamosAction::kHugepage:
     case damon::DamosAction::kStat:
+    case damon::DamosAction::kMigrateHot:
       return false;
   }
   return false;

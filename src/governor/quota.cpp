@@ -30,6 +30,10 @@ double ActionCostUs(const sim::CostModel& costs, damon::DamosAction action,
       return blocks * costs.damos_nohugepage_us_per_block;
     case damon::DamosAction::kStat:
       return 0.0;
+    case damon::DamosAction::kMigrateHot:
+      return pages * costs.damos_migrate_hot_us_per_page;
+    case damon::DamosAction::kMigrateCold:
+      return pages * costs.damos_migrate_cold_us_per_page;
   }
   return 0.0;
 }

@@ -14,6 +14,8 @@ constexpr std::size_t kLogCap = 4096;
 // Direct-reclaim stall charged to a task whose frame allocation had to
 // reclaim synchronously (order-of-magnitude of a kernel direct reclaim).
 constexpr double kAllocStallUs = 250.0;
+// A fast-tier page untouched this long is fair game for the LRU balancer.
+constexpr SimTimeUs kTierIdleUs = 1 * kUsPerSec;
 
 std::uint32_t ToMs(SimTimeUs us) { return static_cast<std::uint32_t>(us / 1000); }
 
@@ -107,7 +109,10 @@ AddressSpace::~AddressSpace() {
   for (Vma& vma : vmas_) {
     for (std::size_t i = 0; i < vma.page_count(); ++i) {
       Page& pg = vma.pages_[i];
-      if (pg.Present()) machine_->UnchargeFrames(1);
+      if (pg.Present()) {
+        machine_->UnchargeFrames(1);
+        machine_->UnchargeTier(pg.tier);
+      }
       if (pg.Swapped()) machine_->swap().ReleasePage(zram_ratio_);
     }
   }
@@ -144,6 +149,7 @@ void AddressSpace::UnmapVma(Addr start) {
     Page& pg = it->pages_[i];
     if (pg.Present()) {
       machine_->UnchargeFrames(1);
+      machine_->UnchargeTier(pg.tier);
       --resident_pages_;
       if (pg.HugeBloat()) --bloat_pages_;
     }
@@ -190,7 +196,13 @@ void AddressSpace::MakeResident(Vma& vma, std::size_t page_idx, bool via_thp) {
   machine_->ChargeFrames(1);
   ++resident_pages_;
   const Addr addr = vma.AddrOfIndex(page_idx);
-  ++vma.blocks_[vma.BlockOfAddr(addr)].resident;
+  Vma::Block& blk = vma.blocks_[vma.BlockOfAddr(addr)];
+  ++blk.resident;
+  if (machine_->tiered()) {
+    // First-fit placement: fast tier while it has room, then downward.
+    pg.tier = machine_->AllocTier();
+    if (pg.tier != 0) ++blk.slow;
+  }
   if (via_thp && !pg.EverTouched()) {
     pg.Set(Page::kHugeBloat);
     ++bloat_pages_;
@@ -210,7 +222,13 @@ void AddressSpace::MakeNonResident(Vma& vma, std::size_t page_idx) {
   machine_->UnchargeFrames(1);
   --resident_pages_;
   const Addr addr = vma.AddrOfIndex(page_idx);
-  --vma.blocks_[vma.BlockOfAddr(addr)].resident;
+  Vma::Block& blk = vma.blocks_[vma.BlockOfAddr(addr)];
+  --blk.resident;
+  if (machine_->tiered()) {
+    machine_->UnchargeTier(pg.tier);
+    if (pg.tier != 0) --blk.slow;
+    pg.tier = 0;
+  }
 }
 
 TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
@@ -278,6 +296,15 @@ TouchStats AddressSpace::TouchPage(Addr addr, bool write, SimTimeUs now) {
   pg.last_touch_ms = ToMs(now);
   ++st.pages;
   if (pg.Huge()) ++st.huge_pages;
+  if (machine_->tiered()) {
+    ++machine_->counters().tier_touches;
+    if (pg.tier != 0) {
+      // Slow-tier access: the workload absorbs the tier's extra latency,
+      // and the touch counts into the hot-cold mismatch metric.
+      ++machine_->counters().tier_slow_touches;
+      st.stall_us += machine_->TierExtraUs(pg.tier);
+    }
+  }
   return st;
 }
 
@@ -301,11 +328,14 @@ TouchStats AddressSpace::TouchRange(Addr start, Addr end, bool write,
       Vma::Block& blk = vma.block(b);
       const bool fully_resident =
           blk.resident == vma.BlockPageSpan(b).second - vma.BlockPageSpan(b).first;
-      if (fully_resident && !BlockHasBloat(vma, b)) {
+      if (fully_resident && !BlockHasBloat(vma, b) && blk.slow == 0) {
         // Fast path: residency and accessed-state are already correct; the
-        // touch log carries the accessed information for IsYoung().
+        // touch log carries the accessed information for IsYoung(). Blocks
+        // with slow-tier pages take the per-page path so each page pays its
+        // tier's latency (blk.slow is always 0 untiered).
         st.pages += span;
         if (blk.huge) st.huge_pages += span;
+        if (machine_->tiered()) machine_->counters().tier_touches += span;
         continue;
       }
       for (std::size_t i = plo; i < phi; ++i) {
@@ -322,6 +352,13 @@ TouchStats AddressSpace::TouchRange(Addr start, Addr end, bool write,
         pg.last_touch_ms = ToMs(now);
         ++st.pages;
         if (pg.Huge()) ++st.huge_pages;
+        if (machine_->tiered()) {
+          ++machine_->counters().tier_touches;
+          if (pg.tier != 0) {
+            ++machine_->counters().tier_slow_touches;
+            st.stall_us += machine_->TierExtraUs(pg.tier);
+          }
+        }
       }
     }
   }
@@ -476,6 +513,119 @@ std::uint64_t AddressSpace::DemoteRange(Addr start, Addr end) {
     }
   }
   return freed;
+}
+
+bool AddressSpace::MigratePage(Vma& vma, std::size_t page_idx,
+                               std::uint16_t to_tier, std::uint64_t* errors) {
+  Page& pg = vma.pages_[page_idx];
+  if (fault::Fires(machine_->faults().tier_migrate_fail)) {
+    // Failed migration (alloc failure / raced with unmap in a real kernel):
+    // the page stays in its source tier, the caller's scheme stats count
+    // the error and the engine's backoff machinery reacts to it.
+    ++machine_->counters().tier_migrate_fails;
+    if (errors != nullptr) ++*errors;
+    return false;
+  }
+  const std::uint16_t from = pg.tier;
+  machine_->MoveTierPage(from, to_tier);
+  Vma::Block& blk = vma.blocks_[vma.BlockOfAddr(vma.AddrOfIndex(page_idx))];
+  if (from == 0 && to_tier != 0) ++blk.slow;
+  if (from != 0 && to_tier == 0) --blk.slow;
+  pg.tier = to_tier;
+  if (to_tier == 0) {
+    ++machine_->counters().tier_promoted_pages;
+  } else {
+    ++machine_->counters().tier_demoted_pages;
+  }
+  return true;
+}
+
+std::uint64_t AddressSpace::MigrateRange(Addr start, Addr end, SimTimeUs now,
+                                         bool promote, std::uint64_t* errors) {
+  (void)now;
+  if (!machine_->tiered()) return 0;  // disarmed: a single branch
+  std::uint64_t bytes = 0;
+  for (Vma& vma : vmas_) {
+    if (vma.end() <= start || vma.start() >= end) continue;
+    const std::size_t plo = vma.PageIndex(std::max(start, vma.start()));
+    const std::size_t phi =
+        vma.PageIndex(std::min(end, vma.end()) - 1) + 1;
+    for (std::size_t i = plo; i < phi; ++i) {
+      Page& pg = vma.pages_[i];
+      // Huge mappings stay put: migrating a 2 MiB block piecemeal would
+      // split it, and the kernel's migrate path works on base pages.
+      if (!pg.Present() || pg.Huge()) continue;
+      if (promote) {
+        if (pg.tier == 0) continue;
+        if (!machine_->TierHasRoom(0)) {
+          // Fast tier full: the rest of the range cannot promote either.
+          // A paired MIGRATE_COLD scheme is what makes room.
+          ++machine_->counters().tier_promote_blocked;
+          return bytes;
+        }
+        if (!MigratePage(vma, i, 0, errors)) continue;
+      } else {
+        // MIGRATE_COLD evacuates the fast tier only — its job is making
+        // room for promotions. Pages already below tier 0 age out through
+        // the tiered kswapd instead; demoting them again would just churn
+        // the elastic bottom tier into swap.
+        if (pg.tier != 0) continue;
+        const std::uint16_t to = machine_->PickDemotionTier(0);
+        if (!MigratePage(vma, i, to, errors)) continue;
+      }
+      bytes += kPageSize;
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t AddressSpace::TierDemoteScan(std::uint16_t from_tier,
+                                           std::uint64_t* budget,
+                                           std::uint64_t max_demote,
+                                           SimTimeUs now) {
+  if (!machine_->tiered() || vmas_.empty()) return 0;
+  if (from_tier >= kMaxTiers) return 0;
+  std::size_t& vma_cursor = tier_vma_cursor_[from_tier];
+  std::size_t& page_cursor = tier_page_cursor_[from_tier];
+  const SimTimeUs idle_cutoff = now > kTierIdleUs ? now - kTierIdleUs : 0;
+  std::uint64_t demoted = 0;
+  // Layout changes may have invalidated the cursor; restart cheaply.
+  if (vma_cursor >= vmas_.size()) {
+    vma_cursor = 0;
+    page_cursor = 0;
+  }
+  std::size_t wraps = 0;
+  while (*budget > 0 && demoted < max_demote && wraps <= vmas_.size()) {
+    Vma& vma = vmas_[vma_cursor];
+    if (page_cursor >= vma.page_count()) {
+      page_cursor = 0;
+      vma_cursor = (vma_cursor + 1) % vmas_.size();
+      ++wraps;
+      continue;
+    }
+    const std::size_t idx = page_cursor++;
+    --*budget;
+    Page& pg = vma.pages_[idx];
+    if (!pg.Present() || pg.Huge() || pg.tier != from_tier) continue;
+    // CLOCK second chance: an up accessed bit buys one round — the scan
+    // clears it (kswapd-style page aging; nothing else ages PTEs when no
+    // monitor is attached) and the page only demotes if still idle when the
+    // cursor comes back. A direct touch or a logged sweep inside the idle
+    // horizon protects it the same way.
+    if (pg.Accessed()) {
+      pg.Clear(Page::kAccessed);
+      pg.acc_cleared_ms = ToMs(now);
+      continue;
+    }
+    if (static_cast<SimTimeUs>(pg.last_touch_ms) * 1000 >= idle_cutoff &&
+        idle_cutoff > 0) {
+      continue;
+    }
+    if (vma.LogCoversSince(vma.AddrOfIndex(idx), idle_cutoff)) continue;
+    const std::uint16_t to = machine_->PickDemotionTier(from_tier);
+    if (MigratePage(vma, idx, to, nullptr)) ++demoted;
+  }
+  return demoted;
 }
 
 std::uint64_t AddressSpace::PromoteBlock(Vma& vma, std::size_t block,

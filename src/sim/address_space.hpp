@@ -16,6 +16,7 @@
 // slow path too.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "sim/page.hpp"
+#include "sim/tier.hpp"
 #include "util/types.hpp"
 
 namespace daos::sim {
@@ -107,6 +109,7 @@ class Vma {
 
   struct Block {
     std::uint16_t resident = 0;  // resident pages in this block
+    std::uint16_t slow = 0;      // ... of them living outside the fast tier
     bool huge = false;           // currently mapped as a 2 MiB page
   };
   Block& block(std::size_t i) { return blocks_[i]; }
@@ -207,6 +210,22 @@ class AddressSpace {
   /// Splits huge mappings in the range (NOHUGEPAGE) and frees sub-pages the
   /// workload never touched (the bloat). Returns bytes freed.
   std::uint64_t DemoteRange(Addr start, Addr end);
+  /// Tier migration (MIGRATE_HOT when `promote`, MIGRATE_COLD otherwise):
+  /// moves resident non-huge pages in [start, end) toward the fast tier
+  /// (promotion, refused range-wide once tier 0 is full) or down to the
+  /// next tier with room (demotion; bottom-tier pages stay put). Returns
+  /// bytes migrated. Injected tier.migrate_fail leaves the page in its
+  /// source tier and counts into `*errors`. No-op (one branch) untiered.
+  std::uint64_t MigrateRange(Addr start, Addr end, SimTimeUs now,
+                             bool promote, std::uint64_t* errors = nullptr);
+  /// One bounded CLOCK sweep for the machine's tier balancer / kswapd
+  /// demotion cascade: scans up to `*budget` pages (decremented in place)
+  /// from a per-tier cursor and demotes `from_tier` pages idle for the
+  /// tier-idle horizon to the next tier with room, stopping after
+  /// `max_demote` demotions. An up accessed bit buys the page one round
+  /// (the scan clears it, kswapd page-aging style). Returns pages demoted.
+  std::uint64_t TierDemoteScan(std::uint16_t from_tier, std::uint64_t* budget,
+                               std::uint64_t max_demote, SimTimeUs now);
 
   // --- THP internals (also used by the machine's khugepaged) -----------------
   /// Promotes one block of `vma` to a huge mapping. Returns bytes newly
@@ -269,6 +288,10 @@ class AddressSpace {
   void MakeResident(Vma& vma, std::size_t page_idx, bool via_thp);
   void MakeNonResident(Vma& vma, std::size_t page_idx);
   bool BlockHasBloat(const Vma& vma, std::size_t block) const;
+  /// Moves one resident page to `to_tier`, keeping tier/block accounting.
+  /// Returns false when the injected migration fault fires (page untouched).
+  bool MigratePage(Vma& vma, std::size_t page_idx, std::uint16_t to_tier,
+                   std::uint64_t* errors);
 
   int id_;
   Machine* machine_;
@@ -283,6 +306,11 @@ class AddressSpace {
   // const FindVma overload warms it too — it is pure lookup memoization.
   mutable std::size_t vma_cache_idx_ = 0;
   mutable std::uint64_t vma_cache_gen_ = ~std::uint64_t{0};
+  // Tier balancer / demotion-cascade CLOCK cursors, one per source tier so
+  // the fast-tier balancer and the middle-tier kswapd sweeps do not reset
+  // each other's position (resumes where the last sweep stopped).
+  std::array<std::size_t, kMaxTiers> tier_vma_cursor_{};
+  std::array<std::size_t, kMaxTiers> tier_page_cursor_{};
   std::uint64_t mapped_bytes_ = 0;
   std::uint64_t resident_pages_ = 0;
   std::uint64_t swapped_pages_ = 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/swap.hpp"
+#include "sim/tier.hpp"
 #include "util/types.hpp"
 
 namespace daos::fault {
@@ -66,6 +67,12 @@ struct CostModel {
   double damos_cold_us_per_page = 0.12;
   double damos_hugepage_us_per_block = 60.0;
   double damos_nohugepage_us_per_block = 25.0;
+  // Tier migration: copy one 4 KiB page between tiers plus remap. The base
+  // value models the kernel-side move_pages work; SetTierGeometry folds the
+  // slowest configured migration bandwidth (bw=) on top, so governor time
+  // quotas charge real transfer cost.
+  double damos_migrate_hot_us_per_page = 1.5;
+  double damos_migrate_cold_us_per_page = 1.5;
 };
 
 struct MachineCounters {
@@ -78,6 +85,13 @@ struct MachineCounters {
   std::uint64_t alloc_stalls = 0;          // frame allocs that hit direct reclaim
   std::uint64_t thp_collapse_errors = 0;   // injected collapse failures
   std::uint64_t khugepaged_backoffs = 0;   // scan periods stretched after errors
+  // Tier substrate (all zero on an untiered machine).
+  std::uint64_t tier_promoted_pages = 0;   // moved into the fast tier
+  std::uint64_t tier_demoted_pages = 0;    // moved to a slower tier
+  std::uint64_t tier_migrate_fails = 0;    // injected migration failures
+  std::uint64_t tier_promote_blocked = 0;  // fast tier full, promotion refused
+  std::uint64_t tier_touches = 0;          // page touches while tiered
+  std::uint64_t tier_slow_touches = 0;     // ... of pages outside the fast tier
 };
 
 /// Fault points the sim layer consults, resolved once at SetFaultPlane time
@@ -87,6 +101,14 @@ struct MachineFaultPoints {
   fault::FaultPoint* swap_slot_exhausted = nullptr;
   fault::FaultPoint* alloc_frame_fail = nullptr;
   fault::FaultPoint* thp_collapse_fail = nullptr;
+  fault::FaultPoint* tier_migrate_fail = nullptr;
+};
+
+/// How the machine manages multi-tier placement on its own (DAMOS migration
+/// schemes run on top of either policy).
+enum class TierPolicy : std::uint8_t {
+  kNone,       // static: pages stay where first-fit allocation put them
+  kLruDemote,  // background balancer demotes idle fast-tier pages downward
 };
 
 class Machine {
@@ -122,8 +144,55 @@ class Machine {
   bool UnderPressure() const noexcept;
   /// Free DRAM as permille of capacity (0 = exhausted, 1000 = idle) — the
   /// "free_mem_rate" watermark metric of the DAMOS governor, mirroring the
-  /// kernel's freerun counters feeding damos_wmark_metric_value().
+  /// kernel's freerun counters feeding damos_wmark_metric_value(). On a
+  /// tiered machine this is the *fast tier's* free rate: watermarks exist to
+  /// protect the scarce resource, and that is tier-0 DRAM.
   std::uint32_t FreeMemRatePermille() const noexcept;
+
+  // --- memory tiers -----------------------------------------------------------
+  /// Installs a multi-tier geometry. Refused (returns false, `*error` set)
+  /// while any frame is in use — placement of already-resident pages would
+  /// be ambiguous — or if the geometry's fast tier is not dram-kind first.
+  /// Folds the slowest configured migration bandwidth into the CostModel's
+  /// per-page migration costs.
+  bool SetTierGeometry(const TierGeometry& geometry, std::string* error);
+  const TierGeometry& tier_geometry() const noexcept { return tiers_; }
+  bool tiered() const noexcept { return tiers_.tiered(); }
+  TierPolicy tier_policy() const noexcept { return tier_policy_; }
+  void set_tier_policy(TierPolicy p) noexcept { tier_policy_ = p; }
+  /// First-fit placement for a newly resident page: the first tier with
+  /// free capacity, the (elastic) last tier otherwise. Returns 0 untiered.
+  std::uint16_t AllocTier() noexcept { return AllocTierFrom(0); }
+  /// Same, but considering only tiers >= `from` (demotion targets).
+  std::uint16_t AllocTierFrom(std::uint16_t from) noexcept;
+  /// Destination for demoting a page out of `from`: the next lower tier
+  /// with free capacity, the elastic bottom tier otherwise. Unlike
+  /// AllocTierFrom this does not charge the tier — MoveTierPage does.
+  std::uint16_t PickDemotionTier(std::uint16_t from) const noexcept;
+  void UnchargeTier(std::uint16_t tier) noexcept;
+  void MoveTierPage(std::uint16_t from, std::uint16_t to) noexcept;
+  bool TierHasRoom(std::uint16_t tier) const noexcept;
+  /// Extra stall a 4 KiB touch pays when the page lives in `tier`.
+  double TierExtraUs(std::uint16_t tier) const noexcept {
+    return tiers_.tiers[tier].access_extra_us;
+  }
+  std::uint64_t TierUsedPages(std::uint16_t tier) const noexcept {
+    return tier_used_pages_[tier];
+  }
+  /// Fast-tier DRAM in use: tier-0 frames plus zram's compressed footprint
+  /// (compressed pages live in real DRAM, wherever their owner sits).
+  std::uint64_t FastTierUsedBytes() const noexcept {
+    return tier_used_pages_[0] * kPageSize + swap_.dram_bytes();
+  }
+  /// Background tier balancer (TierPolicy::kLruDemote): when the fast tier
+  /// crosses its high watermark, demotes idle tier-0 pages downward until
+  /// it is back under the low watermark (bounded per call).
+  void RunTierBalancerIfNeeded(SimTimeUs now);
+  /// Reclaim victim filter: on a tiered machine kswapd evicts only from
+  /// this tier (the last one); -1 means any (untiered behavior).
+  int reclaim_tier_filter() const noexcept { return reclaim_tier_filter_; }
+  /// Human-readable tier table for dbgfs `/tier/status`.
+  std::string TierStatusText() const;
 
   // --- address space registry (the rmap analogue) -----------------------------
   void RegisterSpace(AddressSpace* space);
@@ -167,6 +236,16 @@ class Machine {
   SwapDevice swap_;
   ThpMode thp_mode_;
   std::uint64_t used_frames_ = 0;
+  TierGeometry tiers_;
+  TierPolicy tier_policy_ = TierPolicy::kNone;
+  std::vector<std::uint64_t> tier_used_pages_;
+  // Failed-placement count per tier since the balancer's last pass — the
+  // demand signal that wakes the demotion cascade on a full middle tier.
+  // Mutable: PickDemotionTier is logically const (a placement query) but
+  // records the skip like any other failed allocation.
+  mutable std::vector<std::uint64_t> tier_alloc_skips_;
+  int reclaim_tier_filter_ = -1;
+  std::size_t tier_space_cursor_ = 0;  // balancer round-robin over spaces
   std::vector<AddressSpace*> spaces_;
   std::unique_ptr<Reclaimer> reclaimer_;
   SimTimeUs next_khugepaged_ = 0;

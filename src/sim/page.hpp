@@ -25,7 +25,10 @@ struct Page {
 
   std::uint8_t flags = 0;
   std::uint8_t reclaim_gen = 0;   // CLOCK second-chance counter
-  std::uint16_t reserved = 0;
+  // Memory tier this frame lives in (index into the machine's TierGeometry;
+  // 0 = fast DRAM). Always 0 on an untiered machine, so single-tier runs
+  // stay bit-identical to the pre-tier engine.
+  std::uint16_t tier = 0;
   // Simulated milliseconds of the most recent direct touch and of the most
   // recent accessed-bit clearing (monitor MkOld). Range touches are kept in
   // the VMA touch log instead; IsYoung() consults both.

@@ -34,6 +34,12 @@ std::uint64_t Reclaimer::Reclaim(std::uint64_t target_pages,
     const std::size_t idx = page_cursor_++;
     Page& pg = vma.PageAt(vma.AddrOfIndex(idx));
     if (!pg.Present() || pg.Huge()) continue;
+    // Tiered kswapd evicts only from the (bottom) tier it was pointed at;
+    // pages in upper tiers leave via demotion instead. -1 = any (untiered).
+    if (machine_->reclaim_tier_filter() >= 0 &&
+        pg.tier != machine_->reclaim_tier_filter()) {
+      continue;
+    }
 
     const Addr addr = vma.AddrOfIndex(idx);
     if (pg.Deactivated()) {

@@ -82,6 +82,23 @@ void System::AttachTelemetry(telemetry::MetricsRegistry* registry,
     tel_.daemon_overruns = &registry_->GetCounter("sim.daemon.overruns");
     tel_.touchlog_gc_entries =
         &registry_->GetCounter("sim.touchlog.gc_entries");
+    if (machine_.tiered()) {
+      // The hot-cold mismatch gauge is the tuner's native score function
+      // for tiering schemes: fraction (permille) of this interval's page
+      // touches that landed outside the fast tier.
+      tel_.tier_fast_used_bytes =
+          &registry_->GetGauge("sim.tier.fast_used_bytes");
+      tel_.tier_mismatch_permille =
+          &registry_->GetGauge("sim.tier.hot_mismatch_permille");
+      tel_.tier_promoted = &registry_->GetCounter("sim.tier.promoted_pages");
+      tel_.tier_demoted = &registry_->GetCounter("sim.tier.demoted_pages");
+      tel_.tier_migrate_fails =
+          &registry_->GetCounter("sim.tier.migrate_fails");
+      tel_.tier_promote_blocked =
+          &registry_->GetCounter("sim.tier.promote_blocked");
+      tel_.tier_slow_touches =
+          &registry_->GetCounter("sim.tier.slow_touches");
+    }
   } else {
     interference_hist_ = nullptr;
   }
@@ -154,6 +171,35 @@ void System::PublishTelemetry(SimTimeUs now) {
     *d.last = d.current;
     if (delta > 0) d.counter->Add(delta);
   }
+
+  if (tel_.tier_mismatch_permille != nullptr) {
+    tel_.tier_fast_used_bytes->Set(
+        static_cast<double>(machine_.FastTierUsedBytes()));
+    const std::uint64_t touches = mc.tier_touches - last_.tier_touches;
+    const std::uint64_t slow =
+        mc.tier_slow_touches - last_.tier_slow_touches;
+    last_.tier_touches = mc.tier_touches;
+    last_.tier_slow_touches = mc.tier_slow_touches;
+    if (touches > 0) {
+      tel_.tier_mismatch_permille->Set(
+          static_cast<double>(slow * 1000 / touches));
+    }
+    if (slow > 0) tel_.tier_slow_touches->Add(slow);
+    PlainDelta tier_deltas[] = {
+        {tel_.tier_promoted, mc.tier_promoted_pages,
+         &last_.tier_promoted_pages},
+        {tel_.tier_demoted, mc.tier_demoted_pages, &last_.tier_demoted_pages},
+        {tel_.tier_migrate_fails, mc.tier_migrate_fails,
+         &last_.tier_migrate_fails},
+        {tel_.tier_promote_blocked, mc.tier_promote_blocked,
+         &last_.tier_promote_blocked},
+    };
+    for (PlainDelta& d : tier_deltas) {
+      const std::uint64_t delta = d.current - *d.last;
+      *d.last = d.current;
+      if (delta > 0) d.counter->Add(delta);
+    }
+  }
 }
 
 void System::Step() {
@@ -187,6 +233,7 @@ void System::Step() {
   }
 
   machine_.RunKhugepaged(now);
+  machine_.RunTierBalancerIfNeeded(now);
   machine_.RunReclaimIfNeeded(now);
   if (machine_.TakeOomPending()) OomKill(now);
 

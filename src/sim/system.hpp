@@ -136,6 +136,15 @@ class System {
     telemetry::Counter* thp_collapse_errors = nullptr;
     telemetry::Counter* daemon_overruns = nullptr;
     telemetry::Counter* touchlog_gc_entries = nullptr;
+    // Tier instruments: bound only on a tiered machine, so untiered runs
+    // publish exactly the pre-tier metric set (dbgfs listings stay golden).
+    telemetry::Gauge* tier_fast_used_bytes = nullptr;
+    telemetry::Gauge* tier_mismatch_permille = nullptr;
+    telemetry::Counter* tier_promoted = nullptr;
+    telemetry::Counter* tier_demoted = nullptr;
+    telemetry::Counter* tier_migrate_fails = nullptr;
+    telemetry::Counter* tier_promote_blocked = nullptr;
+    telemetry::Counter* tier_slow_touches = nullptr;
   } tel_;
   struct {
     std::uint64_t reclaimed_pages = 0;
@@ -149,6 +158,12 @@ class System {
     std::uint64_t oom_kills = 0;
     std::uint64_t daemon_overruns = 0;
     std::uint64_t touchlog_gc_entries = 0;
+    std::uint64_t tier_promoted_pages = 0;
+    std::uint64_t tier_demoted_pages = 0;
+    std::uint64_t tier_migrate_fails = 0;
+    std::uint64_t tier_promote_blocked = 0;
+    std::uint64_t tier_touches = 0;
+    std::uint64_t tier_slow_touches = 0;
   } last_;  // previous snapshot's counter values (for deltas)
 };
 

@@ -77,6 +77,7 @@ TEST(CtlExitCodes, EveryVerbIsScriptable) {
       {"replay " + dtr, 0},
       {"fleet-status", 0},
       {"fleet-rollout " + spec_ok, 0},
+      {"tier-status", 0},
       // Rejected input -> 1, with nothing half-applied.
       {"commit " + bundle_bad, 1},
       {"restore " + garbage, 1},
@@ -96,6 +97,7 @@ TEST(CtlExitCodes, EveryVerbIsScriptable) {
       {"checkpoint", 2},
       {"fleet-rollout", 2},
       {"fleet-status extra-arg", 2},
+      {"tier-status extra-arg", 2},
       {"replay a b", 2},
   };
   for (const Row& row : rows)

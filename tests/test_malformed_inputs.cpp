@@ -8,9 +8,11 @@
 
 #include "damos/parser.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
+#include "dbgfs/tier_fs.hpp"
 #include "lifecycle/checkpoint.hpp"
 #include "lifecycle/supervisor.hpp"
 #include "sim/system.hpp"
+#include "sim/tier.hpp"
 #include "trace/format.hpp"
 #include "trace/ingest.hpp"
 #include "util/units.hpp"
@@ -74,6 +76,19 @@ TEST(MalformedParserTest, GarbageActionRejected) {
   const ParseResult r = ParseSchemes("min max min min 2s max explode\n");
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.errors[0].message.find("unknown action 'explode'"),
+            std::string::npos);
+}
+
+TEST(MalformedParserTest, MigrateActionTyposRejected) {
+  // The real migrate actions parse; near-misses must not silently map to
+  // one of them.
+  EXPECT_TRUE(ParseSchemes("min max 1 max min max migrate_hot\n").ok());
+  EXPECT_TRUE(ParseSchemes("min max min min 1s max migrate_cold\n").ok());
+  const ParseResult r =
+      ParseSchemes("min max 1 max min max migrate_warm\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line_number, 1);
+  EXPECT_NE(r.errors[0].message.find("unknown action 'migrate_warm'"),
             std::string::npos);
 }
 
@@ -182,6 +197,107 @@ TEST(MalformedGovernorTest, GovernorErrorsCarryExactLineNumbers) {
   EXPECT_EQ(r.errors[0].line_number, 2);
   EXPECT_EQ(r.errors[1].line_number, 3);
   EXPECT_EQ(r.schemes.size(), 1u);
+}
+
+// --- tier geometry --------------------------------------------------------
+
+sim::TierGeometry ParseGeoExpectError(const std::string& text,
+                                      std::string* error) {
+  sim::TierGeometry geo;
+  EXPECT_FALSE(sim::ParseTierGeometry(text, &geo, error));
+  return geo;
+}
+
+TEST(MalformedTierTest, UnknownTierKindRejected) {
+  std::string error;
+  ParseGeoExpectError("dram 64M\nhbm 16G lat=0.2\n", &error);
+  EXPECT_NE(error.find("tier line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown tier kind 'hbm'"), std::string::npos);
+  EXPECT_NE(error.find("want dram|cxl|zram|file"), std::string::npos);
+}
+
+TEST(MalformedTierTest, BadCapacityRejected) {
+  std::string error;
+  ParseGeoExpectError("dram lots\n", &error);
+  EXPECT_NE(error.find("tier line 1: bad capacity 'lots'"),
+            std::string::npos)
+      << error;
+  // Zero capacity is as useless as unparsable.
+  ParseGeoExpectError("dram 0\n", &error);
+  EXPECT_NE(error.find("bad capacity '0'"), std::string::npos) << error;
+}
+
+TEST(MalformedTierTest, NegativeBandwidthRejected) {
+  std::string error;
+  ParseGeoExpectError("dram 64M\ncxl 1G bw=-1G\n", &error);
+  EXPECT_NE(error.find("tier line 2: negative bandwidth '-1G'"),
+            std::string::npos)
+      << error;
+}
+
+TEST(MalformedTierTest, BadLatencyRejected) {
+  std::string error;
+  ParseGeoExpectError("dram 64M\ncxl 1G lat=fast\n", &error);
+  EXPECT_NE(error.find("tier line 2: bad latency 'fast'"), std::string::npos)
+      << error;
+  ParseGeoExpectError("dram 64M\ncxl 1G lat=-0.5\n", &error);
+  EXPECT_NE(error.find("bad latency '-0.5'"), std::string::npos) << error;
+}
+
+TEST(MalformedTierTest, FirstTierMustBeDram) {
+  std::string error;
+  ParseGeoExpectError("cxl 1G lat=0.6\ndram 64M\n", &error);
+  EXPECT_NE(error.find("tier line 1: first tier must be dram"),
+            std::string::npos)
+      << error;
+}
+
+TEST(MalformedTierTest, UnknownClauseRejected) {
+  std::string error;
+  ParseGeoExpectError("dram 64M numa=1\n", &error);
+  EXPECT_NE(error.find("tier line 1: unknown clause 'numa=1'"),
+            std::string::npos)
+      << error;
+}
+
+TEST(MalformedTierTest, TooManyTiersRejected) {
+  std::string text = "dram 64M\n";
+  for (int i = 0; i < 8; ++i) text += "cxl 64M lat=0.5\n";
+  std::string error;
+  ParseGeoExpectError(text, &error);
+  EXPECT_NE(error.find("tier line 9: too many tiers (max 8)"),
+            std::string::npos)
+      << error;
+}
+
+TEST(MalformedTierTest, EmptyGeometryRejected) {
+  std::string error;
+  ParseGeoExpectError("", &error);
+  EXPECT_NE(error.find("tier geometry is empty"), std::string::npos);
+  ParseGeoExpectError("# comments only\n\n", &error);
+  EXPECT_NE(error.find("tier geometry is empty"), std::string::npos);
+}
+
+TEST(MalformedTierTest, RejectedGeometryWriteKeepsPrevious) {
+  // The /tier/geometry control file shares the all-or-nothing discipline:
+  // a rejected write leaves the installed geometry untouched.
+  sim::System system(sim::MachineSpec::I3Metal().GuestOf(),
+                     sim::SwapConfig::Zram(), sim::ThpMode::kNever,
+                     5 * kUsPerMs);
+  dbgfs::PseudoFs fs;
+  dbgfs::TierFs tier_fs(&fs, &system.machine());
+
+  ASSERT_TRUE(fs.Write("/tier/geometry", "dram 64M\ncxl 1G lat=0.6\n"));
+  const std::string before = fs.Read("/tier/geometry").value();
+  ASSERT_TRUE(system.machine().tiered());
+
+  std::string error;
+  EXPECT_FALSE(fs.Write("/tier/geometry", "dram 64M\nfloppy 1M\n", &error));
+  EXPECT_NE(error.find("tier line 2: unknown tier kind 'floppy'"),
+            std::string::npos)
+      << error;
+  EXPECT_EQ(fs.Read("/tier/geometry").value(), before);
+  EXPECT_TRUE(system.machine().tiered());
 }
 
 // --- debugfs --------------------------------------------------------------
