@@ -1,0 +1,255 @@
+#include "chaos/campaign.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace daos::chaos {
+
+namespace {
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (kMaxU64 - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string buf(text);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+void FormatSpecInto(std::ostringstream& out, const fault::FaultSpec& spec) {
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ' ';
+    first = false;
+  };
+  if (spec.probability > 0.0) {
+    sep();
+    out << "p=" << spec.probability;
+  }
+  if (spec.every_nth > 0) {
+    sep();
+    out << "every=" << spec.every_nth;
+  }
+  if (spec.once_at > 0) {
+    sep();
+    out << "once=" << spec.once_at;
+  }
+}
+
+}  // namespace
+
+bool ParseCampaign(std::string_view text, Campaign* out, std::string* error) {
+  Campaign parsed = *out;  // keep caller defaults for seed/scenario
+  parsed.entries.clear();
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t brk = text.find_first_of("\n;", pos);
+    const std::string_view raw =
+        text.substr(pos, brk == std::string_view::npos ? brk : brk - pos);
+    pos = brk == std::string_view::npos ? text.size() + 1 : brk + 1;
+    ++line_no;
+
+    const std::string_view line = TrimWhitespace(StripComment(raw));
+    if (line.empty()) continue;
+    const auto fail = [&](const std::string& msg) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + msg;
+      }
+      return false;
+    };
+
+    const std::vector<std::string_view> tokens = SplitWhitespace(line);
+    if (tokens[0] == "seed") {
+      std::uint64_t seed = 0;
+      if (tokens.size() != 2 || !ParseU64(tokens[1], &seed)) {
+        return fail("expected 'seed <u64>'");
+      }
+      parsed.seed = seed;
+      continue;
+    }
+    if (tokens[0] == "scenario") {
+      if (tokens.size() != 2) return fail("expected 'scenario <name>'");
+      parsed.scenario = std::string(tokens[1]);
+      continue;
+    }
+    if (tokens.size() < 2) {
+      return fail("expected '<point> <trigger>...' (p=/every=/once=, "
+                  "optionally from=<dur> until=<dur>)");
+    }
+    CampaignEntry entry;
+    entry.point = std::string(tokens[0]);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string_view tok = tokens[i];
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        return fail("bad trigger '" + std::string(tok) +
+                    "' (want p=<prob>, every=<N>, once=<N>, from=<dur>, or "
+                    "until=<dur>)");
+      }
+      const std::string_view key = tok.substr(0, eq);
+      const std::string_view value = tok.substr(eq + 1);
+      if (key == "p") {
+        if (!ParseProbability(value, &entry.spec.probability)) {
+          return fail("bad probability '" + std::string(value) +
+                      "' (want a float in [0, 1])");
+        }
+      } else if (key == "every") {
+        if (!ParseU64(value, &entry.spec.every_nth) ||
+            entry.spec.every_nth == 0) {
+          return fail("bad ordinal '" + std::string(value) +
+                      "' (want an integer >= 1)");
+        }
+      } else if (key == "once") {
+        if (!ParseU64(value, &entry.spec.once_at) ||
+            entry.spec.once_at == 0) {
+          return fail("bad one-shot ordinal '" + std::string(value) +
+                      "' (want an integer >= 1)");
+        }
+      } else if (key == "from") {
+        const auto dur = ParseDuration(value);
+        if (!dur.has_value()) {
+          return fail("bad window start '" + std::string(value) +
+                      "' (want a duration, e.g. 500ms)");
+        }
+        entry.from = *dur;
+      } else if (key == "until") {
+        const auto dur = ParseDuration(value);
+        if (!dur.has_value() || *dur == 0) {
+          return fail("bad window end '" + std::string(value) +
+                      "' (want a non-zero duration, e.g. 2s)");
+        }
+        entry.until = *dur;
+      } else {
+        return fail("unknown trigger '" + std::string(key) + "'");
+      }
+    }
+    if (!entry.spec.armed()) {
+      return fail("entry '" + entry.point +
+                  "' has no trigger (want p=/every=/once=)");
+    }
+    if (entry.until != 0 && entry.until <= entry.from) {
+      return fail("empty window: until=" + FormatDuration(entry.until) +
+                  " <= from=" + FormatDuration(entry.from));
+    }
+    parsed.entries.push_back(std::move(entry));
+  }
+
+  *out = std::move(parsed);
+  return true;
+}
+
+std::string FormatEntry(const CampaignEntry& entry) {
+  std::ostringstream out;
+  out << entry.point << ' ';
+  FormatSpecInto(out, entry.spec);
+  if (entry.from != 0) out << " from=" << FormatDuration(entry.from);
+  if (entry.until != 0) out << " until=" << FormatDuration(entry.until);
+  return out.str();
+}
+
+std::string FormatCampaign(const Campaign& campaign) {
+  std::ostringstream out;
+  out << "seed " << campaign.seed << '\n';
+  out << "scenario " << campaign.scenario << '\n';
+  for (const CampaignEntry& entry : campaign.entries) {
+    out << FormatEntry(entry) << '\n';
+  }
+  return out.str();
+}
+
+std::string FaultsText(const Campaign& campaign) {
+  std::ostringstream out;
+  bool first = true;
+  for (const CampaignEntry& entry : campaign.entries) {
+    if (!first) out << "; ";
+    first = false;
+    out << FormatEntry(entry);
+  }
+  return out.str();
+}
+
+std::string ReproLine(const Campaign& campaign) {
+  std::ostringstream out;
+  out << "DAOS_FAULTS='" << FaultsText(campaign) << "' DAOS_FAULT_SEED="
+      << campaign.seed << " daos_chaos repro " << campaign.scenario;
+  return out.str();
+}
+
+Campaign GenerateCampaign(const GeneratorConfig& config, std::uint64_t index) {
+  // (master_seed, index) -> campaign, via SplitMix64 so neighbouring
+  // indices decorrelate fully.
+  SplitMix64 mix(config.master_seed + 0x9e3779b97f4a7c15ULL * (index + 1));
+  Campaign campaign;
+  campaign.seed = mix.Next();
+  campaign.scenario = config.scenario;
+  Rng rng(mix.Next());
+
+  const std::size_t lo = config.min_entries == 0 ? 1 : config.min_entries;
+  const std::size_t hi = config.max_entries < lo ? lo : config.max_entries;
+  const std::size_t count = lo + static_cast<std::size_t>(
+                                     rng.NextBounded(hi - lo + 1));
+
+  // Partial Fisher-Yates over the catalog: `count` distinct points.
+  std::vector<std::string_view> pool = fault::WellKnownPoints();
+  for (std::size_t i = 0; i < count && i < pool.size(); ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.NextBounded(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    CampaignEntry entry;
+    entry.point = std::string(pool[i]);
+    // Trigger draw. Probabilities are whole per-mille so the text form
+    // ("p=0.027") round-trips the exact double and halving stays exact.
+    switch (rng.NextBounded(3)) {
+      case 0:
+        entry.spec.probability =
+            static_cast<double>(1 + rng.NextBounded(500)) / 1000.0;
+        break;
+      case 1:
+        entry.spec.every_nth = 1 + rng.NextBounded(64);
+        break;
+      default:
+        entry.spec.once_at = 1 + rng.NextBounded(200);
+        break;
+    }
+    // A quarter of the entries get a second, correlated trigger.
+    if (rng.NextBool(0.25) && entry.spec.probability == 0.0) {
+      entry.spec.probability =
+          static_cast<double>(1 + rng.NextBounded(100)) / 1000.0;
+    }
+    if (config.horizon >= 2 * config.window_step &&
+        rng.NextBool(config.window_frac)) {
+      const std::uint64_t steps = config.horizon / config.window_step;
+      const std::uint64_t start = rng.NextBounded(steps);
+      const std::uint64_t len = 1 + rng.NextBounded(steps - start);
+      entry.from = start * config.window_step;
+      if (start + len < steps) {
+        entry.until = (start + len) * config.window_step;
+      }  // else: window runs to the end — leave until=0
+    }
+    campaign.entries.push_back(std::move(entry));
+  }
+  return campaign;
+}
+
+}  // namespace daos::chaos

@@ -1,0 +1,79 @@
+// Chaos scenario drivers: run one campaign against a real stack and check
+// the cross-layer invariant oracles.
+//
+// Four scenarios, all fully deterministic in (campaign seed, campaign
+// entries) — the repro contract depends on it:
+//
+//   workload   one System + governed pageout scheme + KdamondSupervisor
+//              over a hot/cold heap (THP always, so collapse faults land)
+//   tiered     the same stack over a dram/cxl/file tier geometry with
+//              migrate_hot/migrate_cold schemes under quotas
+//   lifecycle  an idle heap with a fast-crash supervisor and one forced
+//              kdamond death — the crash/restore/replay scenario
+//   fleet      a 4-shard FleetController driving a canary rollout while
+//              the campaign storms the shard planes
+//
+// Campaign windows are realized at slice (epoch) boundaries: entering a
+// window arms the point with the entry's spec, leaving it disarms — both
+// rewind the point's stream (fault.hpp Arm contract), so a windowed
+// schedule is as replayable as a static one.
+//
+// Oracle catalog (DESIGN §14): page conservation across tiers, governor
+// per-window charge <= quota, checkpoint->restore round-trip identity,
+// telemetry conservation (every injected fault is visible in exactly one
+// counter family), supervisor/fleet progress, fleet counter conservation,
+// and the synthetic probe point ("chaos.synthetic") whose only legal
+// behavior is to never fire — the injectable known-bad oracle the shrinker
+// and the regression tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "util/types.hpp"
+
+namespace daos::chaos {
+
+/// The synthetic probe point: consulted once per slice by every scenario,
+/// never armed by the generator. Arming it in a hand-written campaign is
+/// the supported way to create a guaranteed oracle violation.
+inline constexpr std::string_view kSyntheticPoint = "chaos.synthetic";
+
+struct OracleCheck {
+  std::string name;    // e.g. "governor.window_quota"
+  bool pass = true;
+  std::string detail;  // failure explanation ("" when pass)
+};
+
+struct ScenarioResult {
+  std::vector<OracleCheck> checks;
+  /// FNV digest of the final cross-layer state (machine counters, space
+  /// residency, scheme stats, lifecycle/fleet counters, fault status).
+  /// Two runs of the same campaign must produce the same signature —
+  /// the repro and DAOS_JOBS bit-identity probes compare it.
+  std::uint64_t signature = 0;
+  /// Total faults injected across every point (cumulative fires).
+  std::uint64_t faults_fired = 0;
+
+  bool ok() const noexcept {
+    for (const OracleCheck& c : checks)
+      if (!c.pass) return false;
+    return true;
+  }
+  std::vector<std::string> Violations() const;
+};
+
+const std::vector<std::string_view>& ScenarioNames();
+bool KnownScenario(std::string_view name);
+/// Sim-time length of the scenario's campaign phase (windows are drawn
+/// inside it; a quiet tail runs after it).
+SimTimeUs ScenarioHorizon(std::string_view name);
+
+/// Runs `campaign` against its scenario (campaign.scenario). Unknown
+/// scenarios produce a single failed "scenario.known" check.
+ScenarioResult RunScenario(const Campaign& campaign);
+
+}  // namespace daos::chaos

@@ -74,6 +74,15 @@ void FormatSpec(std::ostringstream& out, const FaultSpec& spec) {
 
 }  // namespace
 
+const std::vector<std::string_view>& WellKnownPoints() {
+  static const std::vector<std::string_view> kPoints = {
+      kSwapWriteError,    kSwapSlotExhausted, kAllocFrameFail,
+      kThpCollapseFail,   kTierMigrateFail,   kDaemonOverrun,
+      kDaemonCrash,       kTrialHang,         kFleetShardCrash,
+      kFleetRollbackFail, kFleetTelemetryLoss};
+  return kPoints;
+}
+
 FaultPoint::FaultPoint(std::string name, std::uint64_t plane_seed)
     : name_(std::move(name)),
       plane_seed_(plane_seed),
@@ -108,6 +117,7 @@ bool FaultPoint::Roll() noexcept {
   // exactly one check even when a plane is shared across threads.
   const std::uint64_t ordinal =
       hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  cum_hits_.fetch_add(1, std::memory_order_relaxed);
   bool fire = false;
   if (spec_.once_at > 0 && ordinal == spec_.once_at) fire = true;
   if (spec_.every_nth > 0 && ordinal % spec_.every_nth == 0) fire = true;
@@ -119,6 +129,7 @@ bool FaultPoint::Roll() noexcept {
   if (spec_.probability > 0.0 && rng_.NextBool(spec_.probability)) fire = true;
   if (fire) {
     fires_.fetch_add(1, std::memory_order_relaxed);
+    cum_fires_.fetch_add(1, std::memory_order_relaxed);
     if (fires_counter_ != nullptr) fires_counter_->Add();
   }
   return fire;
@@ -269,7 +280,9 @@ std::string FaultPlane::StatusText() const {
   for (const auto& [name, point] : points_) {
     out << name << ' ';
     FormatSpec(out, point->spec());
-    out << " hits=" << point->hits() << " fires=" << point->fires() << '\n';
+    out << " hits=" << point->hits() << " fires=" << point->fires()
+        << " fired=" << point->cumulative_fires()
+        << " suppressed=" << point->cumulative_suppressed() << '\n';
   }
   return out.str();
 }
@@ -304,9 +317,15 @@ std::unique_ptr<FaultPlane> FaultPlane::FromEnv() {
   if (spec == nullptr || *spec == '\0') return nullptr;
   std::uint64_t seed = 0xfa'017'fa'017ULL;
   if (const char* seed_env = std::getenv("DAOS_FAULT_SEED")) {
-    if (!ParseU64(seed_env, &seed)) {
-      std::fprintf(stderr, "daos: ignoring bad DAOS_FAULT_SEED '%s'\n",
+    if (*seed_env != '\0' && !ParseU64(seed_env, &seed)) {
+      // A wrong seed is a *different* fault schedule, not a degraded one:
+      // silently defaulting would run chaos repros against the wrong
+      // schedule and "reproduce" nothing. Reject the whole plane instead.
+      std::fprintf(stderr,
+                   "daos: rejecting DAOS_FAULTS: bad DAOS_FAULT_SEED '%s' "
+                   "(want a decimal u64)\n",
                    seed_env);
+      return nullptr;
     }
   }
   auto plane = std::make_unique<FaultPlane>(seed);

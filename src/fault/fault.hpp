@@ -56,6 +56,11 @@ inline constexpr std::string_view kFleetShardCrash = "fleet.shard_crash";
 inline constexpr std::string_view kFleetRollbackFail = "fleet.rollback_fail";
 inline constexpr std::string_view kFleetTelemetryLoss = "fleet.telemetry_loss";
 
+/// Every fault point the stack actually consults, in a fixed order. The
+/// chaos campaign generator (src/chaos) draws over this catalog; keep it in
+/// sync with the constants above when a new point is wired in.
+const std::vector<std::string_view>& WellKnownPoints();
+
 /// Trigger configuration of one fault point. A point is armed when any
 /// trigger is set; triggers combine (any firing one injects the fault).
 struct FaultSpec {
@@ -91,6 +96,20 @@ class FaultPoint {
   std::uint64_t fires() const noexcept {
     return fires_.load(std::memory_order_relaxed);
   }
+  /// Checks observed over the point's whole lifetime — unlike hits(), never
+  /// reset by re-arming. Chaos oracles audit these across arm/disarm
+  /// windows.
+  std::uint64_t cumulative_hits() const noexcept {
+    return cum_hits_.load(std::memory_order_relaxed);
+  }
+  /// Faults injected over the point's whole lifetime (never reset).
+  std::uint64_t cumulative_fires() const noexcept {
+    return cum_fires_.load(std::memory_order_relaxed);
+  }
+  /// Checks that did NOT inject over the lifetime.
+  std::uint64_t cumulative_suppressed() const noexcept {
+    return cumulative_hits() - cumulative_fires();
+  }
 
   /// Installs `spec` and restarts the schedule (ordinals and the RNG stream
   /// rewind, so arming is reproducible regardless of prior checks).
@@ -121,6 +140,10 @@ class FaultPoint {
   // shape, and there `once=` means once per plane.
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> fires_{0};
+  // Lifetime totals: survive Arm()/Disarm()/Reseed() so windowed chaos
+  // campaigns can audit how much actually landed.
+  std::atomic<std::uint64_t> cum_hits_{0};
+  std::atomic<std::uint64_t> cum_fires_{0};
   telemetry::Counter* fires_counter_ = nullptr;  // null until telemetry bound
 };
 
@@ -162,7 +185,11 @@ class FaultPlane {
   /// (when non-null) gets a line-numbered message.
   bool Configure(std::string_view text, std::string* error = nullptr);
 
-  /// One line per point: "<name> <trigger-spec|off> hits=<n> fires=<n>".
+  /// One line per point:
+  ///   "<name> <trigger-spec|off> hits=<n> fires=<n> fired=<n> suppressed=<n>"
+  /// where hits/fires count since the last (re)arm and fired/suppressed are
+  /// lifetime cumulative (never reset), so "/fault" reads audit how much
+  /// chaos actually landed across arm/disarm windows.
   std::string StatusText() const;
 
   /// Publishes "<prefix>.<point>.fires" counters for every current and
@@ -174,8 +201,11 @@ class FaultPlane {
 
   /// Builds a plane from the DAOS_FAULTS (spec text) and DAOS_FAULT_SEED
   /// environment variables; returns nullptr when DAOS_FAULTS is unset or
-  /// invalid (invalid specs are reported on stderr, never fatal). This is
-  /// how CI stress jobs arm faults under unmodified binaries.
+  /// either variable is invalid (rejections are reported on stderr, never
+  /// fatal). A malformed DAOS_FAULT_SEED rejects the whole plane rather
+  /// than silently running a different schedule than the one named in a
+  /// repro line. This is how CI stress jobs arm faults under unmodified
+  /// binaries.
   static std::unique_ptr<FaultPlane> FromEnv();
 
  private:

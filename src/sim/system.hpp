@@ -71,6 +71,10 @@ class System {
   void AddFaultPlaneListener(FaultPlaneListener listener);
 
   std::uint64_t oom_kills() const noexcept { return oom_kills_; }
+  /// Quanta a daemon overran (injected via the "daemon.overrun" point).
+  /// Chaos telemetry-conservation oracles compare this against the point's
+  /// cumulative fire count.
+  std::uint64_t daemon_overruns() const noexcept { return daemon_overruns_; }
 
   /// Attaches the telemetry plane: every `interval` of simulated time the
   /// daemon loop publishes system gauges (DRAM use, swap slots, active

@@ -1,0 +1,88 @@
+// Pinned chaos repros: every minimized repro the campaign engine produced
+// during development becomes a permanent regression test. Each entry is
+// the DAOS_FAULTS payload + seed + scenario exactly as the repro line
+// printed it; the test replays the campaign and asserts the violation
+// still reproduces (and stays minimal under the shrinker).
+//
+// When a new violation is found and minimized, append its repro here —
+// the campaign text IS the regression test.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/engine.hpp"
+
+namespace {
+
+using namespace daos;
+
+struct PinnedRepro {
+  const char* faults;    // the DAOS_FAULTS payload of the repro line
+  std::uint64_t seed;    // DAOS_FAULT_SEED
+  const char* scenario;  // daos_chaos repro <scenario>
+  const char* oracle;    // the oracle that must still trip
+};
+
+// The first minimized repros, from the engine's own known-bad mechanism:
+// the synthetic probe point whose only legal behavior is to never fire.
+// One per scenario driver, so each driver's slice loop + arming path is
+// pinned end to end.
+constexpr PinnedRepro kPinned[] = {
+    {"chaos.synthetic once=2", 4242, "workload", "chaos.synthetic"},
+    {"chaos.synthetic once=1", 17, "tiered", "chaos.synthetic"},
+    {"chaos.synthetic once=3", 99, "lifecycle", "chaos.synthetic"},
+    {"chaos.synthetic once=2", 7, "fleet", "chaos.synthetic"},
+};
+
+chaos::Campaign Rebuild(const PinnedRepro& pin) {
+  chaos::Campaign campaign;
+  campaign.seed = pin.seed;
+  campaign.scenario = pin.scenario;
+  std::string error;
+  EXPECT_TRUE(chaos::ParseCampaign(pin.faults, &campaign, &error))
+      << pin.faults << ": " << error;
+  return campaign;
+}
+
+TEST(ChaosRepros, PinnedReprosStillViolate) {
+  for (const PinnedRepro& pin : kPinned) {
+    const chaos::Campaign campaign = Rebuild(pin);
+    const chaos::ScenarioResult result = chaos::RunScenario(campaign);
+    EXPECT_FALSE(result.ok())
+        << pin.scenario << ": pinned repro no longer violates — the "
+        << "arming/probe path regressed: " << pin.faults;
+    bool oracle_tripped = false;
+    for (const chaos::OracleCheck& check : result.checks) {
+      if (check.name == pin.oracle && !check.pass) oracle_tripped = true;
+    }
+    EXPECT_TRUE(oracle_tripped)
+        << pin.scenario << ": expected oracle '" << pin.oracle
+        << "' to trip";
+  }
+}
+
+TEST(ChaosRepros, PinnedReprosReplayBitIdentically) {
+  // The whole repro contract: same campaign, same violation, same final
+  // cross-layer state signature, run after run.
+  for (const PinnedRepro& pin : kPinned) {
+    const chaos::Campaign campaign = Rebuild(pin);
+    const chaos::ScenarioResult first = chaos::RunScenario(campaign);
+    const chaos::ScenarioResult second = chaos::RunScenario(campaign);
+    EXPECT_EQ(first.signature, second.signature) << pin.scenario;
+    EXPECT_EQ(first.faults_fired, second.faults_fired) << pin.scenario;
+  }
+}
+
+TEST(ChaosRepros, PinnedReprosAreAlreadyMinimal) {
+  // Shrinking a pinned repro must be a no-op — if it shrinks further, the
+  // pin should be updated to the smaller schedule.
+  for (const PinnedRepro& pin : kPinned) {
+    const chaos::Campaign campaign = Rebuild(pin);
+    chaos::ChaosEngine engine(chaos::ChaosConfig{});
+    const chaos::Campaign minimal = engine.Shrink(campaign);
+    EXPECT_EQ(chaos::FaultsText(minimal), chaos::FaultsText(campaign))
+        << pin.scenario << ": pin is not minimal";
+  }
+}
+
+}  // namespace

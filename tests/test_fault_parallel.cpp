@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/runner.hpp"
+#include "chaos/engine.hpp"
 #include "fault/fault.hpp"
 
 namespace {
@@ -79,6 +80,31 @@ TEST(FaultParallel, PerShardPlanesMatchSerialResult) {
       }
     EXPECT_EQ(fires, 1u);
   }
+}
+
+TEST(FaultParallel, ChaosShrinkMinimumIsJobsIndependent) {
+  // The chaos shrinker probes entry drops across the pool; its
+  // first-failing-index selection must make the minimized repro
+  // bit-identical whether one worker probes or four race.
+  chaos::Campaign failing;
+  std::string error;
+  ASSERT_TRUE(chaos::ParseCampaign("seed 17\nscenario workload\n"
+                                   "chaos.synthetic once=1\n"
+                                   "swap.write_error p=0.3\n"
+                                   "alloc.frame_fail every=11\n"
+                                   "fleet.shard_crash once=5\n",
+                                   &failing, &error))
+      << error;
+  auto minimize = [&](unsigned jobs) {
+    chaos::ChaosConfig config;
+    config.jobs = jobs;
+    chaos::ChaosEngine engine(config);
+    return chaos::ReproLine(engine.Shrink(failing));
+  };
+  const std::string serial = minimize(1);
+  const std::string parallel = minimize(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(parallel, minimize(4)) << "rerun must be bit-identical";
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,56 @@ TEST(FaultPointTest, RearmReplaysIdenticalSchedule) {
   const std::vector<bool> first = Schedule(p, 200);
   p.Arm(FaultSpec{0.3, 0, 0});  // rewinds ordinals and the RNG stream
   EXPECT_EQ(Schedule(p, 200), first);
+}
+
+TEST(FaultPointTest, CumulativeCountsSurviveRearmAndDisarm) {
+  // hits()/fires() reset with every Arm() (the replay contract), but the
+  // lifetime totals keep accumulating — windowed chaos campaigns re-arm
+  // points at slice boundaries and audit totals at the end of the run.
+  FaultPlane plane(3);
+  FaultPoint& p = plane.Point("x");
+  p.Arm(FaultSpec{0.0, 2, 0});  // every=2
+  for (int i = 0; i < 10; ++i) (void)p.Check();
+  EXPECT_EQ(p.hits(), 10u);
+  EXPECT_EQ(p.fires(), 5u);
+  EXPECT_EQ(p.cumulative_hits(), 10u);
+  EXPECT_EQ(p.cumulative_fires(), 5u);
+
+  p.Disarm();
+  for (int i = 0; i < 4; ++i) (void)p.Check();  // disarmed: counts nothing
+  EXPECT_EQ(p.cumulative_hits(), 10u);
+
+  p.Arm(FaultSpec{0.0, 2, 0});
+  for (int i = 0; i < 10; ++i) (void)p.Check();
+  EXPECT_EQ(p.hits(), 10u) << "per-arm counters reset";
+  EXPECT_EQ(p.fires(), 5u);
+  EXPECT_EQ(p.cumulative_hits(), 20u) << "lifetime totals must not";
+  EXPECT_EQ(p.cumulative_fires(), 10u);
+  EXPECT_EQ(p.cumulative_suppressed(), 10u);
+}
+
+TEST(FaultPlaneTest, StatusTextShowsCumulativeCounts) {
+  FaultPlane plane(9);
+  FaultPoint& p = plane.Point("swap.write_error");
+  p.Arm(FaultSpec{0.0, 3, 0});
+  for (int i = 0; i < 9; ++i) (void)p.Check();
+  p.Arm(FaultSpec{0.0, 3, 0});  // resets hits/fires, keeps totals
+  for (int i = 0; i < 3; ++i) (void)p.Check();
+  const std::string status = plane.StatusText();
+  EXPECT_NE(status.find("hits=3"), std::string::npos) << status;
+  EXPECT_NE(status.find("fires=1"), std::string::npos) << status;
+  EXPECT_NE(status.find("fired=4"), std::string::npos) << status;
+  EXPECT_NE(status.find("suppressed=8"), std::string::npos) << status;
+}
+
+TEST(FaultPlaneTest, WellKnownPointsCatalogIsCompleteAndDistinct) {
+  const auto& points = fault::WellKnownPoints();
+  EXPECT_EQ(points.size(), 11u);
+  std::set<std::string_view> unique(points.begin(), points.end());
+  EXPECT_EQ(unique.size(), points.size());
+  for (const std::string_view name : points) {
+    EXPECT_NE(name.find('.'), std::string_view::npos) << name;
+  }
 }
 
 TEST(FaultPlaneTest, SameSeedSameSchedulePerPoint) {

@@ -3,11 +3,16 @@
 // installed state untouched — never crash, never half-apply.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "chaos/campaign.hpp"
 #include "damos/parser.hpp"
 #include "dbgfs/damon_dbgfs.hpp"
+#include "fault/fault.hpp"
 #include "dbgfs/tier_fs.hpp"
 #include "lifecycle/checkpoint.hpp"
 #include "lifecycle/supervisor.hpp"
@@ -876,6 +881,102 @@ TEST(MalformedIngestTest, EmptyInputRejected) {
                    .has_value());
   EXPECT_NE(error.message.find("unrecognized trace format"),
             std::string::npos);
+}
+
+// --- fault plane env -------------------------------------------------------
+
+// Saves and restores DAOS_FAULTS / DAOS_FAULT_SEED around a test, so CI
+// legs that run this binary with an armed env plane keep it for the tests
+// that follow.
+class MalformedFaultEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Save("DAOS_FAULTS");
+    Save("DAOS_FAULT_SEED");
+  }
+  void TearDown() override {
+    for (const auto& [name, value] : saved_) {
+      if (value.has_value()) {
+        setenv(name.c_str(), value->c_str(), 1);
+      } else {
+        unsetenv(name.c_str());
+      }
+    }
+  }
+
+ private:
+  void Save(const char* name) {
+    const char* value = std::getenv(name);
+    saved_.emplace_back(name, value == nullptr
+                                  ? std::nullopt
+                                  : std::optional<std::string>(value));
+  }
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+// A wrong DAOS_FAULT_SEED is a *different* fault schedule, not a degraded
+// one — silently defaulting would replay something other than the repro
+// line named. FromEnv must reject the whole plane instead.
+TEST_F(MalformedFaultEnvTest, NonNumericSeedRejectsPlane) {
+  setenv("DAOS_FAULTS", "swap.write_error p=0.5", 1);
+  setenv("DAOS_FAULT_SEED", "banana", 1);
+  EXPECT_EQ(fault::FaultPlane::FromEnv(), nullptr);
+}
+
+TEST_F(MalformedFaultEnvTest, OverflowingSeedRejectsPlane) {
+  setenv("DAOS_FAULTS", "swap.write_error p=0.5", 1);
+  setenv("DAOS_FAULT_SEED", "99999999999999999999999", 1);  // > u64
+  EXPECT_EQ(fault::FaultPlane::FromEnv(), nullptr);
+  setenv("DAOS_FAULT_SEED", "-7", 1);
+  EXPECT_EQ(fault::FaultPlane::FromEnv(), nullptr);
+}
+
+TEST_F(MalformedFaultEnvTest, ValidAndEmptySeedsStillArm) {
+  setenv("DAOS_FAULTS", "swap.write_error p=0.5", 1);
+  setenv("DAOS_FAULT_SEED", "12345", 1);
+  auto plane = fault::FaultPlane::FromEnv();
+  ASSERT_NE(plane, nullptr);
+  EXPECT_EQ(plane->seed(), 12345u);
+  setenv("DAOS_FAULT_SEED", "", 1);  // empty keeps the default seed
+  EXPECT_NE(fault::FaultPlane::FromEnv(), nullptr);
+}
+
+// --- chaos campaign grammar ------------------------------------------------
+
+TEST(MalformedCampaignTest, RejectsBadDirectivesWithLineNumbers) {
+  const auto reject = [](std::string_view text, std::string_view fragment) {
+    chaos::Campaign campaign;
+    campaign.scenario = "keep-me";
+    std::string error;
+    EXPECT_FALSE(chaos::ParseCampaign(text, &campaign, &error)) << text;
+    EXPECT_NE(error.find(fragment), std::string::npos)
+        << text << " -> " << error;
+    EXPECT_EQ(campaign.scenario, "keep-me") << "reject must not half-apply";
+    EXPECT_TRUE(campaign.entries.empty());
+  };
+  reject("seed banana", "line 1");
+  reject("seed 1 2", "seed <u64>");
+  reject("scenario", "scenario <name>");
+  reject("swap.write_error", "<point> <trigger>");
+  reject("swap.write_error frob=1", "unknown trigger");
+  reject("swap.write_error p=1.5", "bad probability");
+  reject("swap.write_error p=nan", "bad probability");
+  reject("swap.write_error every=0", "bad ordinal");
+  reject("swap.write_error once=0", "bad one-shot ordinal");
+  reject("swap.write_error p=0.1 from=weird", "bad window start");
+  reject("swap.write_error p=0.1 until=0us", "bad window end");
+  reject("ok.point p=0.1\nswap.write_error p=0.1 until=1s from=2s",
+         "line 2: empty window");
+  reject("swap.write_error p=0.1 from=1s until=1s", "empty window");
+}
+
+TEST(MalformedCampaignTest, EntryWithoutTriggerRejected) {
+  chaos::Campaign campaign;
+  std::string error;
+  EXPECT_FALSE(
+      chaos::ParseCampaign("swap.write_error from=1s until=2s", &campaign,
+                           &error));
+  EXPECT_NE(error.find("no trigger"), std::string::npos) << error;
 }
 
 }  // namespace
