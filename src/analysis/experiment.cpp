@@ -135,9 +135,11 @@ ExperimentResult RunWorkload(const workload::WorkloadProfile& profile,
     }
     if (recorder != nullptr) recorder->Attach(*ctx);
 
-    system.RegisterDaemon([&ctx](SimTimeUs now, SimTimeUs quantum) {
-      return ctx->Step(now, quantum);
-    });
+    system.RegisterDaemon(
+        [&ctx](SimTimeUs now, SimTimeUs quantum) {
+          return ctx->Step(now, quantum);
+        },
+        [&ctx](SimTimeUs now) { return ctx->NextEventAt(now); });
   }
 
   const sim::SystemMetrics metrics = system.Run(options.max_time);

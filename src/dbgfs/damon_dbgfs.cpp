@@ -1,6 +1,7 @@
 #include "dbgfs/damon_dbgfs.hpp"
 
 #include <cstdio>
+#include <limits>
 
 #include "damos/parser.hpp"
 #include "sim/system.hpp"
@@ -38,9 +39,17 @@ DamonDbgfs::DamonDbgfs(sim::System* system, PseudoFs* fs, std::string root)
         return WriteMonitorOn(c, e);
       });
 
-  system_->RegisterDaemon([this](SimTimeUs now, SimTimeUs quantum) {
-    return on_ ? ctx_->Step(now, quantum) : 0.0;
-  });
+  system_->RegisterDaemon(
+      [this](SimTimeUs now, SimTimeUs quantum) {
+        return on_ ? ctx_->Step(now, quantum) : 0.0;
+      },
+      // Switched off, the kdamond has no next event at all; monitor_on
+      // writes land between Run() loop iterations, which re-consult this
+      // hint every pass.
+      [this](SimTimeUs now) {
+        return on_ ? ctx_->NextEventAt(now)
+                   : std::numeric_limits<SimTimeUs>::max();
+      });
 }
 
 DamonDbgfs::~DamonDbgfs() {

@@ -1,6 +1,7 @@
 #include "sim/address_space.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "fault/fault.hpp"
 #include "sim/machine.hpp"
@@ -19,6 +20,24 @@ constexpr SimTimeUs kTierIdleUs = 1 * kUsPerSec;
 
 std::uint32_t ToMs(SimTimeUs us) { return static_cast<std::uint32_t>(us / 1000); }
 
+/// Mask selecting bit positions [lo, hi) of one word, 0 <= lo < hi <= 64.
+std::uint64_t BitRangeMask(std::size_t lo, std::size_t hi) {
+  const std::uint64_t all = ~std::uint64_t{0};
+  return (all >> (64 - (hi - lo))) << lo;
+}
+
+/// Calls fn(word_index, mask, first_page_of_word) for every bitmap word
+/// overlapping page indices [plo, phi); the mask selects exactly the pages
+/// of that word inside the range.
+template <typename Fn>
+void ForEachWord(std::size_t plo, std::size_t phi, Fn&& fn) {
+  for (std::size_t w = plo >> 6; w <= (phi - 1) >> 6; ++w) {
+    const std::size_t lo = std::max(plo, w << 6);
+    const std::size_t hi = std::min(phi, (w + 1) << 6);
+    fn(w, BitRangeMask(lo & 63, hi - (w << 6)), w << 6);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -31,10 +50,24 @@ Vma::Vma(Addr start, Addr end, std::string name)
       aligned_base_(AlignDown(start, kHugePageSize)),
       name_(std::move(name)) {
   // Bounds are validated by AddressSpace::Map before construction.
-  pages_.resize(static_cast<std::size_t>((end - start) >> kPageShift));
+  page_count_ = static_cast<std::size_t>((end - start) >> kPageShift);
+  words_ = (page_count_ + 63) / 64;
+  bits_.assign(kPageBitPlanes * words_, 0);
+  meta_.assign(page_count_, PageMeta{});
   const std::size_t nblocks = static_cast<std::size_t>(
       (AlignUp(end, kHugePageSize) - aligned_base_) >> kHugePageShift);
   blocks_.resize(nblocks);
+}
+
+PageView Vma::PageAt(Addr a) const {
+  const std::size_t i = PageIndex(a);
+  PageView v;
+  for (std::size_t p = 0; p < kPageBitPlanes; ++p) {
+    v.flags |= static_cast<std::uint8_t>(
+        TestBit(static_cast<PageBit>(p), i) ? 1u << p : 0u);
+  }
+  v.meta = meta_[i];
+  return v;
 }
 
 std::pair<std::size_t, std::size_t> Vma::BlockPageSpan(std::size_t block) const {
@@ -105,15 +138,28 @@ AddressSpace::AddressSpace(int id, Machine* machine, double zram_ratio)
 }
 
 AddressSpace::~AddressSpace() {
-  // Return all frames and swap slots to the machine.
+  // Return all frames and swap slots to the machine. Frames uncharge by
+  // word-popcount; swap slots release per page (the device's stored-bytes
+  // accounting is floating point and must see the same per-page sequence
+  // the evictions produced).
   for (Vma& vma : vmas_) {
-    for (std::size_t i = 0; i < vma.page_count(); ++i) {
-      Page& pg = vma.pages_[i];
-      if (pg.Present()) {
-        machine_->UnchargeFrames(1);
-        machine_->UnchargeTier(pg.tier);
+    const std::uint64_t* present = vma.plane(PageBit::kPresent);
+    const std::uint64_t* swapped = vma.plane(PageBit::kSwapped);
+    for (std::size_t w = 0; w < vma.word_count(); ++w) {
+      if (present[w] != 0) {
+        machine_->UnchargeFrames(
+            static_cast<std::uint64_t>(std::popcount(present[w])));
+        if (machine_->tiered()) {
+          for (std::uint64_t word = present[w]; word != 0; word &= word - 1) {
+            const std::size_t i =
+                (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+            machine_->UnchargeTier(vma.Meta(i).tier);
+          }
+        }
       }
-      if (pg.Swapped()) machine_->swap().ReleasePage(zram_ratio_);
+      for (std::uint64_t word = swapped[w]; word != 0; word &= word - 1) {
+        machine_->swap().ReleasePage(zram_ratio_);
+      }
     }
   }
   machine_->UnregisterSpace(this);
@@ -137,6 +183,7 @@ Vma* AddressSpace::Map(Addr start, std::uint64_t len, std::string name) {
   it = vmas_.emplace(it, aligned_start, aligned_end, std::move(name));
   mapped_bytes_ += it->size();
   ++layout_gen_;
+  RebuildVmaIndex();
   if (tap_ != nullptr) tap_->OnMap(aligned_start, it->size(), it->name());
   return &*it;
 }
@@ -145,15 +192,25 @@ void AddressSpace::UnmapVma(Addr start) {
   auto it = std::find_if(vmas_.begin(), vmas_.end(),
                          [start](const Vma& v) { return v.start() == start; });
   if (it == vmas_.end()) return;
-  for (std::size_t i = 0; i < it->page_count(); ++i) {
-    Page& pg = it->pages_[i];
-    if (pg.Present()) {
-      machine_->UnchargeFrames(1);
-      machine_->UnchargeTier(pg.tier);
-      --resident_pages_;
-      if (pg.HugeBloat()) --bloat_pages_;
+  const std::uint64_t* present = it->plane(PageBit::kPresent);
+  const std::uint64_t* swapped = it->plane(PageBit::kSwapped);
+  const std::uint64_t* bloat = it->plane(PageBit::kHugeBloat);
+  for (std::size_t w = 0; w < it->word_count(); ++w) {
+    if (present[w] != 0) {
+      const std::uint64_t count =
+          static_cast<std::uint64_t>(std::popcount(present[w]));
+      machine_->UnchargeFrames(count);
+      resident_pages_ -= count;
+      if (machine_->tiered()) {
+        for (std::uint64_t word = present[w]; word != 0; word &= word - 1) {
+          const std::size_t i =
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+          machine_->UnchargeTier(it->Meta(i).tier);
+        }
+      }
     }
-    if (pg.Swapped()) {
+    bloat_pages_ -= static_cast<std::uint64_t>(std::popcount(bloat[w]));
+    for (std::uint64_t word = swapped[w]; word != 0; word &= word - 1) {
       machine_->swap().ReleasePage(zram_ratio_);
       --swapped_pages_;
     }
@@ -164,77 +221,82 @@ void AddressSpace::UnmapVma(Addr start) {
   mapped_bytes_ -= it->size();
   vmas_.erase(it);
   ++layout_gen_;
+  RebuildVmaIndex();
   if (tap_ != nullptr) tap_->OnUnmap(start);
 }
 
-template <typename Self>
-auto AddressSpace::FindVmaImpl(Self& self, Addr a)
-    -> decltype(self.vmas_.data()) {
-  if (self.vma_cache_gen_ == self.layout_gen_ &&
-      self.vma_cache_idx_ < self.vmas_.size() &&
-      self.vmas_[self.vma_cache_idx_].Contains(a)) {
-    return &self.vmas_[self.vma_cache_idx_];
+void AddressSpace::RebuildVmaIndex() {
+  vma_starts_.resize(vmas_.size());
+  vma_ends_.resize(vmas_.size());
+  for (std::size_t i = 0; i < vmas_.size(); ++i) {
+    vma_starts_[i] = vmas_[i].start();
+    vma_ends_[i] = vmas_[i].end();
   }
-  auto it = std::upper_bound(self.vmas_.begin(), self.vmas_.end(), a,
-                             [](Addr x, const Vma& v) { return x < v.end(); });
-  if (it == self.vmas_.end() || !it->Contains(a)) return nullptr;
-  self.vma_cache_idx_ = static_cast<std::size_t>(it - self.vmas_.begin());
-  self.vma_cache_gen_ = self.layout_gen_;
-  return &*it;
 }
 
-Vma* AddressSpace::FindVma(Addr a) { return FindVmaImpl(*this, a); }
+Vma* AddressSpace::FindVma(Addr a) {
+  // Non-overlapping VMAs sorted by start means the end array is sorted
+  // too: the candidate is the first VMA whose end lies above `a`.
+  const auto it = std::upper_bound(vma_ends_.begin(), vma_ends_.end(), a);
+  const std::size_t i = static_cast<std::size_t>(it - vma_ends_.begin());
+  if (i == vma_starts_.size() || vma_starts_[i] > a) return nullptr;
+  return &vmas_[i];
+}
 
 const Vma* AddressSpace::FindVma(Addr a) const {
-  return FindVmaImpl(*this, a);
+  const auto it = std::upper_bound(vma_ends_.begin(), vma_ends_.end(), a);
+  const std::size_t i = static_cast<std::size_t>(it - vma_ends_.begin());
+  if (i == vma_starts_.size() || vma_starts_[i] > a) return nullptr;
+  return &vmas_[i];
 }
 
 void AddressSpace::MakeResident(Vma& vma, std::size_t page_idx, bool via_thp) {
-  Page& pg = vma.pages_[page_idx];
-  if (!DAOS_CHECK(!pg.Present())) return;  // already resident: keep accounting
-  pg.Set(Page::kPresent);
+  if (!DAOS_CHECK(!vma.TestBit(PageBit::kPresent, page_idx)))
+    return;  // already resident: keep accounting
+  vma.SetBit(PageBit::kPresent, page_idx);
   machine_->ChargeFrames(1);
   ++resident_pages_;
   const Addr addr = vma.AddrOfIndex(page_idx);
-  Vma::Block& blk = vma.blocks_[vma.BlockOfAddr(addr)];
+  Vma::Block& blk = vma.block(vma.BlockOfAddr(addr));
   ++blk.resident;
   if (machine_->tiered()) {
     // First-fit placement: fast tier while it has room, then downward.
-    pg.tier = machine_->AllocTier();
-    if (pg.tier != 0) ++blk.slow;
+    PageMeta& meta = vma.Meta(page_idx);
+    meta.tier = machine_->AllocTier();
+    if (meta.tier != 0) ++blk.slow;
   }
-  if (via_thp && !pg.EverTouched()) {
-    pg.Set(Page::kHugeBloat);
+  if (via_thp && !vma.TestBit(PageBit::kEverTouched, page_idx)) {
+    vma.SetBit(PageBit::kHugeBloat, page_idx);
     ++bloat_pages_;
   }
 }
 
 void AddressSpace::MakeNonResident(Vma& vma, std::size_t page_idx) {
-  Page& pg = vma.pages_[page_idx];
-  if (!DAOS_CHECK(pg.Present())) return;  // already gone: keep accounting
-  pg.Clear(Page::kPresent);
-  pg.Clear(Page::kAccessed);
-  pg.Clear(Page::kDeactivated);
-  if (pg.HugeBloat()) {
-    pg.Clear(Page::kHugeBloat);
+  if (!DAOS_CHECK(vma.TestBit(PageBit::kPresent, page_idx)))
+    return;  // already gone: keep accounting
+  vma.ClearBit(PageBit::kPresent, page_idx);
+  vma.ClearBit(PageBit::kAccessed, page_idx);
+  vma.ClearBit(PageBit::kDeactivated, page_idx);
+  if (vma.TestBit(PageBit::kHugeBloat, page_idx)) {
+    vma.ClearBit(PageBit::kHugeBloat, page_idx);
     --bloat_pages_;
   }
   machine_->UnchargeFrames(1);
   --resident_pages_;
   const Addr addr = vma.AddrOfIndex(page_idx);
-  Vma::Block& blk = vma.blocks_[vma.BlockOfAddr(addr)];
+  Vma::Block& blk = vma.block(vma.BlockOfAddr(addr));
   --blk.resident;
   if (machine_->tiered()) {
-    machine_->UnchargeTier(pg.tier);
-    if (pg.tier != 0) --blk.slow;
-    pg.tier = 0;
+    PageMeta& meta = vma.Meta(page_idx);
+    machine_->UnchargeTier(meta.tier);
+    if (meta.tier != 0) --blk.slow;
+    meta.tier = 0;
   }
 }
 
 TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
                                  SimTimeUs now) {
   TouchStats st;
-  Page& pg = vma.pages_[page_idx];
   const CostModel& costs = machine_->costs();
   if (fault::Fires(machine_->faults().alloc_frame_fail)) {
     // No free frame on first try: the allocating task enters direct
@@ -247,11 +309,11 @@ TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
       machine_->RaiseOom();
     }
   }
-  if (pg.Swapped()) {
+  if (vma.TestBit(PageBit::kSwapped, page_idx)) {
     // Major fault: bring the page back from the swap device.
     machine_->swap().ReleasePage(zram_ratio_);
     machine_->swap().CountPageIn();
-    pg.Clear(Page::kSwapped);
+    vma.ClearBit(PageBit::kSwapped, page_idx);
     --swapped_pages_;
     MakeResident(vma, page_idx, /*via_thp=*/false);
     ++major_faults_;
@@ -273,7 +335,7 @@ TouchStats AddressSpace::FaultIn(Vma& vma, std::size_t page_idx, bool write,
     ++minor_faults_;
     ++st.minor_faults;
   }
-  if (write) pg.Set(Page::kDirty);
+  if (write) vma.SetBit(PageBit::kDirty, page_idx);
   return st;
 }
 
@@ -283,26 +345,28 @@ TouchStats AddressSpace::TouchPage(Addr addr, bool write, SimTimeUs now) {
   Vma* vma = FindVma(addr);
   if (vma == nullptr) return st;
   const std::size_t idx = vma->PageIndex(addr);
-  Page& pg = vma->pages_[idx];
-  if (!pg.Present()) st += FaultIn(*vma, idx, write, now);
-  pg.Set(Page::kAccessed);
-  pg.Set(Page::kEverTouched);
-  pg.Clear(Page::kDeactivated);
-  if (write) pg.Set(Page::kDirty);
-  if (pg.HugeBloat()) {
-    pg.Clear(Page::kHugeBloat);
+  if (!vma->TestBit(PageBit::kPresent, idx)) st += FaultIn(*vma, idx, write, now);
+  vma->SetBit(PageBit::kAccessed, idx);
+  vma->SetBit(PageBit::kEverTouched, idx);
+  vma->ClearBit(PageBit::kDeactivated, idx);
+  if (write) vma->SetBit(PageBit::kDirty, idx);
+  if (vma->TestBit(PageBit::kHugeBloat, idx)) {
+    vma->ClearBit(PageBit::kHugeBloat, idx);
     --bloat_pages_;
   }
-  pg.last_touch_ms = ToMs(now);
   ++st.pages;
-  if (pg.Huge()) ++st.huge_pages;
+  if (vma->TestBit(PageBit::kHuge, idx)) ++st.huge_pages;
   if (machine_->tiered()) {
+    // last_touch_ms feeds only the tier balancer's idle test; untiered
+    // machines skip the side-array write entirely.
+    vma->Meta(idx).last_touch_ms = ToMs(now);
     ++machine_->counters().tier_touches;
-    if (pg.tier != 0) {
+    const std::uint16_t tier = vma->Meta(idx).tier;
+    if (tier != 0) {
       // Slow-tier access: the workload absorbs the tier's extra latency,
       // and the touch counts into the hot-cold mismatch metric.
       ++machine_->counters().tier_slow_touches;
-      st.stall_us += machine_->TierExtraUs(pg.tier);
+      st.stall_us += machine_->TierExtraUs(tier);
     }
   }
   return st;
@@ -339,24 +403,24 @@ TouchStats AddressSpace::TouchRange(Addr start, Addr end, bool write,
         continue;
       }
       for (std::size_t i = plo; i < phi; ++i) {
-        Page& pg = vma.pages_[i];
-        if (!pg.Present()) st += FaultIn(vma, i, write, now);
-        pg.Set(Page::kAccessed);
-        pg.Set(Page::kEverTouched);
-        pg.Clear(Page::kDeactivated);
-        if (pg.HugeBloat()) {
-          pg.Clear(Page::kHugeBloat);
+        if (!vma.TestBit(PageBit::kPresent, i)) st += FaultIn(vma, i, write, now);
+        vma.SetBit(PageBit::kAccessed, i);
+        vma.SetBit(PageBit::kEverTouched, i);
+        vma.ClearBit(PageBit::kDeactivated, i);
+        if (vma.TestBit(PageBit::kHugeBloat, i)) {
+          vma.ClearBit(PageBit::kHugeBloat, i);
           --bloat_pages_;
         }
-        if (write) pg.Set(Page::kDirty);
-        pg.last_touch_ms = ToMs(now);
+        if (write) vma.SetBit(PageBit::kDirty, i);
         ++st.pages;
-        if (pg.Huge()) ++st.huge_pages;
+        if (vma.TestBit(PageBit::kHuge, i)) ++st.huge_pages;
         if (machine_->tiered()) {
+          vma.Meta(i).last_touch_ms = ToMs(now);
           ++machine_->counters().tier_touches;
-          if (pg.tier != 0) {
+          const std::uint16_t tier = vma.Meta(i).tier;
+          if (tier != 0) {
             ++machine_->counters().tier_slow_touches;
-            st.stall_us += machine_->TierExtraUs(pg.tier);
+            st.stall_us += machine_->TierExtraUs(tier);
           }
         }
       }
@@ -368,32 +432,35 @@ TouchStats AddressSpace::TouchRange(Addr start, Addr end, bool write,
 bool AddressSpace::BlockHasBloat(const Vma& vma, std::size_t block) const {
   if (bloat_pages_ == 0) return false;
   const auto [plo, phi] = vma.BlockPageSpan(block);
-  for (std::size_t i = plo; i < phi; ++i) {
-    if (vma.pages_[i].HugeBloat()) return true;
-  }
-  return false;
+  const std::uint64_t* bloat = vma.plane(PageBit::kHugeBloat);
+  bool found = false;
+  ForEachWord(plo, phi, [&](std::size_t w, std::uint64_t mask, std::size_t) {
+    found = found || (bloat[w] & mask) != 0;
+  });
+  return found;
 }
 
 void AddressSpace::MkOld(Addr addr, SimTimeUs now) {
   Vma* vma = FindVma(addr);
   if (vma == nullptr) return;
-  Page& pg = vma->PageAt(addr);
-  pg.Clear(Page::kAccessed);
-  pg.acc_cleared_ms = ToMs(now);
+  const std::size_t idx = vma->PageIndex(addr);
+  vma->ClearBit(PageBit::kAccessed, idx);
+  vma->Meta(idx).acc_cleared_ms = ToMs(now);
 }
 
 bool AddressSpace::IsYoung(Addr addr) const {
   const Vma* vma = FindVma(addr);
   if (vma == nullptr) return false;
-  const Page& pg = vma->PageAt(addr);
-  if (pg.Accessed()) return true;
-  const SimTimeUs since = static_cast<SimTimeUs>(pg.acc_cleared_ms) * 1000;
+  const std::size_t idx = vma->PageIndex(addr);
+  if (vma->TestBit(PageBit::kAccessed, idx)) return true;
+  const SimTimeUs since =
+      static_cast<SimTimeUs>(vma->Meta(idx).acc_cleared_ms) * 1000;
   return vma->LogCoversSince(addr, since);
 }
 
 bool AddressSpace::IsResident(Addr addr) const {
   const Vma* vma = FindVma(addr);
-  return vma != nullptr && vma->PageAt(addr).Present();
+  return vma != nullptr && vma->TestBit(PageBit::kPresent, vma->PageIndex(addr));
 }
 
 std::uint64_t AddressSpace::PageOutRange(Addr start, Addr end, SimTimeUs now,
@@ -413,24 +480,35 @@ std::uint64_t AddressSpace::PageOutRange(Addr start, Addr end, SimTimeUs now,
     }
     const std::size_t plo = vma.PageIndex(lo);
     const std::size_t phi = vma.PageIndex(hi - 1) + 1;
-    for (std::size_t i = plo; i < phi; ++i) {
-      if (!vma.pages_[i].Present()) continue;
-      switch (TryEvictPage(vma, i)) {
-        case EvictOutcome::kEvicted:
-        case EvictOutcome::kFreed:
-          evicted += kPageSize;
-          break;
-        case EvictOutcome::kWriteError:
-          // Transient device I/O failure: this page stays resident, the
-          // rest of the range is still worth trying.
-          if (errors != nullptr) ++*errors;
-          break;
-        case EvictOutcome::kNoSlot:
-          // Swap device full (or absent): nothing more can leave.
-          ++machine_->counters().failed_evictions;
-          return evicted;
-        case EvictOutcome::kNotEvictable:
-          break;
+    // Word-at-a-time over the present plane: absent words cost one test.
+    // Eviction only ever clears bits, so the per-word snapshot stays a
+    // superset of the still-present pages and TryEvictPage re-checks each.
+    const std::uint64_t* present = vma.plane(PageBit::kPresent);
+    for (std::size_t w = plo >> 6; w <= (phi - 1) >> 6; ++w) {
+      const std::size_t wlo = std::max(plo, w << 6);
+      const std::size_t whi = std::min(phi, (w + 1) << 6);
+      std::uint64_t word =
+          present[w] & BitRangeMask(wlo & 63, whi - (w << 6));
+      for (; word != 0; word &= word - 1) {
+        const std::size_t i =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        switch (TryEvictPage(vma, i)) {
+          case EvictOutcome::kEvicted:
+          case EvictOutcome::kFreed:
+            evicted += kPageSize;
+            break;
+          case EvictOutcome::kWriteError:
+            // Transient device I/O failure: this page stays resident, the
+            // rest of the range is still worth trying.
+            if (errors != nullptr) ++*errors;
+            break;
+          case EvictOutcome::kNoSlot:
+            // Swap device full (or absent): nothing more can leave.
+            ++machine_->counters().failed_evictions;
+            return evicted;
+          case EvictOutcome::kNotEvictable:
+            break;
+        }
       }
     }
   }
@@ -445,15 +523,22 @@ std::uint64_t AddressSpace::SwapInRange(Addr start, Addr end, SimTimeUs now) {
     const std::size_t plo = vma.PageIndex(std::max(start, vma.start()));
     const std::size_t phi =
         vma.PageIndex(std::min(end, vma.end()) - 1) + 1;
-    for (std::size_t i = plo; i < phi; ++i) {
-      Page& pg = vma.pages_[i];
-      if (!pg.Swapped()) continue;
-      machine_->swap().ReleasePage(zram_ratio_);
-      machine_->swap().CountPageIn();
-      pg.Clear(Page::kSwapped);
-      --swapped_pages_;
-      MakeResident(vma, i, /*via_thp=*/false);
-      bytes += kPageSize;
+    const std::uint64_t* swapped = vma.plane(PageBit::kSwapped);
+    for (std::size_t w = plo >> 6; w <= (phi - 1) >> 6; ++w) {
+      const std::size_t wlo = std::max(plo, w << 6);
+      const std::size_t whi = std::min(phi, (w + 1) << 6);
+      std::uint64_t word =
+          swapped[w] & BitRangeMask(wlo & 63, whi - (w << 6));
+      for (; word != 0; word &= word - 1) {
+        const std::size_t i =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        machine_->swap().ReleasePage(zram_ratio_);
+        machine_->swap().CountPageIn();
+        vma.ClearBit(PageBit::kSwapped, i);
+        --swapped_pages_;
+        MakeResident(vma, i, /*via_thp=*/false);
+        bytes += kPageSize;
+      }
     }
   }
   return bytes;
@@ -466,12 +551,18 @@ std::uint64_t AddressSpace::DeactivateRange(Addr start, Addr end) {
     const std::size_t plo = vma.PageIndex(std::max(start, vma.start()));
     const std::size_t phi =
         vma.PageIndex(std::min(end, vma.end()) - 1) + 1;
-    for (std::size_t i = plo; i < phi; ++i) {
-      Page& pg = vma.pages_[i];
-      if (!pg.Present() || pg.Huge()) continue;
-      pg.Set(Page::kDeactivated);
-      bytes += kPageSize;
-    }
+    // The whole sweep is three word-ops per 64 pages: resident non-huge
+    // pages gain the deactivated bit (re-marking already-deactivated pages
+    // counts toward the returned bytes, exactly like the per-page loop
+    // this replaced).
+    const std::uint64_t* present = vma.plane(PageBit::kPresent);
+    const std::uint64_t* huge = vma.plane(PageBit::kHuge);
+    std::uint64_t* deact = vma.plane(PageBit::kDeactivated);
+    ForEachWord(plo, phi, [&](std::size_t w, std::uint64_t mask, std::size_t) {
+      const std::uint64_t cand = present[w] & ~huge[w] & mask;
+      deact[w] |= cand;
+      bytes += static_cast<std::uint64_t>(std::popcount(cand)) * kPageSize;
+    });
   }
   return bytes;
 }
@@ -517,7 +608,6 @@ std::uint64_t AddressSpace::DemoteRange(Addr start, Addr end) {
 
 bool AddressSpace::MigratePage(Vma& vma, std::size_t page_idx,
                                std::uint16_t to_tier, std::uint64_t* errors) {
-  Page& pg = vma.pages_[page_idx];
   if (fault::Fires(machine_->faults().tier_migrate_fail)) {
     // Failed migration (alloc failure / raced with unmap in a real kernel):
     // the page stays in its source tier, the caller's scheme stats count
@@ -526,12 +616,13 @@ bool AddressSpace::MigratePage(Vma& vma, std::size_t page_idx,
     if (errors != nullptr) ++*errors;
     return false;
   }
-  const std::uint16_t from = pg.tier;
+  PageMeta& meta = vma.Meta(page_idx);
+  const std::uint16_t from = meta.tier;
   machine_->MoveTierPage(from, to_tier);
-  Vma::Block& blk = vma.blocks_[vma.BlockOfAddr(vma.AddrOfIndex(page_idx))];
+  Vma::Block& blk = vma.block(vma.BlockOfAddr(vma.AddrOfIndex(page_idx)));
   if (from == 0 && to_tier != 0) ++blk.slow;
   if (from != 0 && to_tier == 0) --blk.slow;
-  pg.tier = to_tier;
+  meta.tier = to_tier;
   if (to_tier == 0) {
     ++machine_->counters().tier_promoted_pages;
   } else {
@@ -550,30 +641,40 @@ std::uint64_t AddressSpace::MigrateRange(Addr start, Addr end, SimTimeUs now,
     const std::size_t plo = vma.PageIndex(std::max(start, vma.start()));
     const std::size_t phi =
         vma.PageIndex(std::min(end, vma.end()) - 1) + 1;
-    for (std::size_t i = plo; i < phi; ++i) {
-      Page& pg = vma.pages_[i];
-      // Huge mappings stay put: migrating a 2 MiB block piecemeal would
-      // split it, and the kernel's migrate path works on base pages.
-      if (!pg.Present() || pg.Huge()) continue;
-      if (promote) {
-        if (pg.tier == 0) continue;
-        if (!machine_->TierHasRoom(0)) {
-          // Fast tier full: the rest of the range cannot promote either.
-          // A paired MIGRATE_COLD scheme is what makes room.
-          ++machine_->counters().tier_promote_blocked;
-          return bytes;
+    // Huge mappings stay put: migrating a 2 MiB block piecemeal would
+    // split it, and the kernel's migrate path works on base pages. The
+    // word-level candidate set prefilters both them and absent pages;
+    // migration never flips present/huge bits, so the snapshot is exact.
+    const std::uint64_t* present = vma.plane(PageBit::kPresent);
+    const std::uint64_t* huge = vma.plane(PageBit::kHuge);
+    for (std::size_t w = plo >> 6; w <= (phi - 1) >> 6; ++w) {
+      const std::size_t wlo = std::max(plo, w << 6);
+      const std::size_t whi = std::min(phi, (w + 1) << 6);
+      std::uint64_t word =
+          present[w] & ~huge[w] & BitRangeMask(wlo & 63, whi - (w << 6));
+      for (; word != 0; word &= word - 1) {
+        const std::size_t i =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        if (promote) {
+          if (vma.Meta(i).tier == 0) continue;
+          if (!machine_->TierHasRoom(0)) {
+            // Fast tier full: the rest of the range cannot promote either.
+            // A paired MIGRATE_COLD scheme is what makes room.
+            ++machine_->counters().tier_promote_blocked;
+            return bytes;
+          }
+          if (!MigratePage(vma, i, 0, errors)) continue;
+        } else {
+          // MIGRATE_COLD evacuates the fast tier only — its job is making
+          // room for promotions. Pages already below tier 0 age out through
+          // the tiered kswapd instead; demoting them again would just churn
+          // the elastic bottom tier into swap.
+          if (vma.Meta(i).tier != 0) continue;
+          const std::uint16_t to = machine_->PickDemotionTier(0);
+          if (!MigratePage(vma, i, to, errors)) continue;
         }
-        if (!MigratePage(vma, i, 0, errors)) continue;
-      } else {
-        // MIGRATE_COLD evacuates the fast tier only — its job is making
-        // room for promotions. Pages already below tier 0 age out through
-        // the tiered kswapd instead; demoting them again would just churn
-        // the elastic bottom tier into swap.
-        if (pg.tier != 0) continue;
-        const std::uint16_t to = machine_->PickDemotionTier(0);
-        if (!MigratePage(vma, i, to, errors)) continue;
+        bytes += kPageSize;
       }
-      bytes += kPageSize;
     }
   }
   return bytes;
@@ -603,21 +704,47 @@ std::uint64_t AddressSpace::TierDemoteScan(std::uint16_t from_tier,
       ++wraps;
       continue;
     }
+    // Word-level skip: absent or huge-mapped pages are charged against the
+    // budget 64 at a time (the same one-unit-per-page cost the per-page
+    // loop paid) without touching any per-page state.
+    const std::size_t w = page_cursor >> 6;
+    const std::size_t word_end = std::min(vma.page_count(), (w + 1) << 6);
+    const std::uint64_t cand =
+        vma.plane(PageBit::kPresent)[w] & ~vma.plane(PageBit::kHuge)[w] &
+        ~(((page_cursor & 63) != 0)
+              ? BitRangeMask(0, page_cursor & 63)
+              : 0);
+    if (cand == 0) {
+      const std::uint64_t charge =
+          std::min<std::uint64_t>(word_end - page_cursor, *budget);
+      page_cursor += charge;
+      *budget -= charge;
+      continue;
+    }
+    const std::size_t next =
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(cand));
+    if (next > page_cursor) {
+      const std::uint64_t charge =
+          std::min<std::uint64_t>(next - page_cursor, *budget);
+      page_cursor += charge;
+      *budget -= charge;
+      continue;
+    }
     const std::size_t idx = page_cursor++;
     --*budget;
-    Page& pg = vma.pages_[idx];
-    if (!pg.Present() || pg.Huge() || pg.tier != from_tier) continue;
+    if (vma.Meta(idx).tier != from_tier) continue;
     // CLOCK second chance: an up accessed bit buys one round — the scan
     // clears it (kswapd-style page aging; nothing else ages PTEs when no
     // monitor is attached) and the page only demotes if still idle when the
     // cursor comes back. A direct touch or a logged sweep inside the idle
     // horizon protects it the same way.
-    if (pg.Accessed()) {
-      pg.Clear(Page::kAccessed);
-      pg.acc_cleared_ms = ToMs(now);
+    if (vma.TestBit(PageBit::kAccessed, idx)) {
+      vma.ClearBit(PageBit::kAccessed, idx);
+      vma.Meta(idx).acc_cleared_ms = ToMs(now);
       continue;
     }
-    if (static_cast<SimTimeUs>(pg.last_touch_ms) * 1000 >= idle_cutoff &&
+    if (static_cast<SimTimeUs>(vma.Meta(idx).last_touch_ms) * 1000 >=
+            idle_cutoff &&
         idle_cutoff > 0) {
       continue;
     }
@@ -645,19 +772,25 @@ std::uint64_t AddressSpace::PromoteBlock(Vma& vma, std::size_t block,
   const auto [plo, phi] = vma.BlockPageSpan(block);
   std::uint64_t newly_resident = 0;
   for (std::size_t i = plo; i < phi; ++i) {
-    Page& pg = vma.pages_[i];
-    if (pg.Swapped()) {
+    if (vma.TestBit(PageBit::kSwapped, i)) {
       machine_->swap().ReleasePage(zram_ratio_);
-      pg.Clear(Page::kSwapped);
+      vma.ClearBit(PageBit::kSwapped, i);
       --swapped_pages_;
     }
-    if (!pg.Present()) {
+    if (!vma.TestBit(PageBit::kPresent, i)) {
       MakeResident(vma, i, /*via_thp=*/true);
       newly_resident += kPageSize;
     }
-    pg.Set(Page::kHuge);
-    pg.last_touch_ms = std::max(pg.last_touch_ms, ToMs(now));
+    if (machine_->tiered()) {
+      PageMeta& meta = vma.Meta(i);
+      meta.last_touch_ms = std::max(meta.last_touch_ms, ToMs(now));
+    }
   }
+  // The huge bits flip 64 at a time — a 2 MiB collapse is eight word-ORs.
+  std::uint64_t* huge = vma.plane(PageBit::kHuge);
+  ForEachWord(plo, phi, [&](std::size_t w, std::uint64_t mask, std::size_t) {
+    huge[w] |= mask;
+  });
   blk.huge = true;
   ++huge_blocks_;
   return newly_resident;
@@ -669,16 +802,23 @@ std::uint64_t AddressSpace::DemoteBlock(Vma& vma, std::size_t block) {
   if (!blk.huge) return 0;
   const auto [plo, phi] = vma.BlockPageSpan(block);
   std::uint64_t freed = 0;
-  for (std::size_t i = plo; i < phi; ++i) {
-    Page& pg = vma.pages_[i];
-    pg.Clear(Page::kHuge);
-    if (pg.HugeBloat() && !pg.EverTouched()) {
+  // Splitting clears up to 512 huge bits with word-ORs; the bloat pages the
+  // split frees (never-touched sub-pages) are found the same way.
+  std::uint64_t* huge = vma.plane(PageBit::kHuge);
+  const std::uint64_t* bloat = vma.plane(PageBit::kHugeBloat);
+  const std::uint64_t* ever = vma.plane(PageBit::kEverTouched);
+  ForEachWord(plo, phi, [&](std::size_t w, std::uint64_t mask, std::size_t) {
+    huge[w] &= ~mask;
+    for (std::uint64_t word = bloat[w] & ~ever[w] & mask; word != 0;
+         word &= word - 1) {
+      const std::size_t i =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
       // This sub-page only exists because of the huge allocation; splitting
       // lets the kernel hand it back — this is the bloat ethp removes.
       MakeNonResident(vma, i);
       freed += kPageSize;
     }
-  }
+  });
   blk.huge = false;
   --huge_blocks_;
   return freed;
@@ -686,9 +826,11 @@ std::uint64_t AddressSpace::DemoteBlock(Vma& vma, std::size_t block) {
 
 AddressSpace::EvictOutcome AddressSpace::TryEvictPage(Vma& vma,
                                                       std::size_t page_idx) {
-  Page& pg = vma.pages_[page_idx];
-  if (!pg.Present() || pg.Huge()) return EvictOutcome::kNotEvictable;
-  if (!pg.EverTouched()) {
+  if (!vma.TestBit(PageBit::kPresent, page_idx) ||
+      vma.TestBit(PageBit::kHuge, page_idx)) {
+    return EvictOutcome::kNotEvictable;
+  }
+  if (!vma.TestBit(PageBit::kEverTouched, page_idx)) {
     // Pure bloat page: no content worth swapping, just free it.
     MakeNonResident(vma, page_idx);
     return EvictOutcome::kFreed;
@@ -705,14 +847,14 @@ AddressSpace::EvictOutcome AddressSpace::TryEvictPage(Vma& vma,
     return EvictOutcome::kNoSlot;
   }
   if (!machine_->swap().StorePage(zram_ratio_)) return EvictOutcome::kNoSlot;
-  if (pg.Dirty()) {
+  if (vma.TestBit(PageBit::kDirty, page_idx)) {
     ++dirty_evictions_;
   } else {
     ++clean_evictions_;
   }
   MakeNonResident(vma, page_idx);
-  pg.Set(Page::kSwapped);
-  pg.Clear(Page::kDirty);
+  vma.SetBit(PageBit::kSwapped, page_idx);
+  vma.ClearBit(PageBit::kDirty, page_idx);
   ++swapped_pages_;
   return EvictOutcome::kEvicted;
 }

@@ -84,15 +84,40 @@ class Vma {
 
   bool Contains(Addr a) const noexcept { return a >= start_ && a < end_; }
 
-  Page& PageAt(Addr a) { return pages_[PageIndex(a)]; }
-  const Page& PageAt(Addr a) const { return pages_[PageIndex(a)]; }
+  /// Value snapshot of one page's state (tests / debugging; the sim's hot
+  /// paths use the bit planes below directly).
+  PageView PageAt(Addr a) const;
   std::size_t PageIndex(Addr a) const noexcept {
     return static_cast<std::size_t>((a - start_) >> kPageShift);
   }
   Addr AddrOfIndex(std::size_t idx) const noexcept {
     return start_ + (static_cast<Addr>(idx) << kPageShift);
   }
-  std::size_t page_count() const noexcept { return pages_.size(); }
+  std::size_t page_count() const noexcept { return page_count_; }
+
+  // --- packed page-state bit planes ---------------------------------------
+  // Flags live plane-major: plane p occupies words [p*words_, (p+1)*words_)
+  // of bits_, with bit (i & 63) of word (i >> 6) covering page index i.
+  // Spare bits past page_count_ in a plane's tail word are always zero
+  // (every range operation masks), so popcounts never overcount.
+  std::size_t word_count() const noexcept { return words_; }
+  std::uint64_t* plane(PageBit b) noexcept {
+    return bits_.data() + static_cast<std::size_t>(b) * words_;
+  }
+  const std::uint64_t* plane(PageBit b) const noexcept {
+    return bits_.data() + static_cast<std::size_t>(b) * words_;
+  }
+  bool TestBit(PageBit b, std::size_t i) const noexcept {
+    return (plane(b)[i >> 6] >> (i & 63)) & 1u;
+  }
+  void SetBit(PageBit b, std::size_t i) noexcept {
+    plane(b)[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void ClearBit(PageBit b, std::size_t i) noexcept {
+    plane(b)[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  PageMeta& Meta(std::size_t i) noexcept { return meta_[i]; }
+  const PageMeta& Meta(std::size_t i) const noexcept { return meta_[i]; }
 
   // --- 2 MiB block bookkeeping (THP) -------------------------------------
   // Blocks are indexed over [start, end) in 2 MiB strides relative to the
@@ -133,7 +158,10 @@ class Vma {
   Addr end_;
   Addr aligned_base_;  // AlignDown(start, 2 MiB)
   std::string name_;
-  std::vector<Page> pages_;
+  std::size_t page_count_ = 0;
+  std::size_t words_ = 0;              // per-plane words: ceil(pages / 64)
+  std::vector<std::uint64_t> bits_;    // kPageBitPlanes planes, plane-major
+  std::vector<PageMeta> meta_;         // cold per-page fields (slow paths)
   std::vector<Block> blocks_;
   std::deque<RangeTouch> log_;
 };
@@ -278,12 +306,6 @@ class AddressSpace {
   std::uint64_t MaintainLogs(SimTimeUs now);
 
  private:
-  /// Shared lookup behind both FindVma overloads — `Self` is AddressSpace
-  /// or const AddressSpace, so one body serves both constnesses without the
-  /// const_cast forwarding it replaced.
-  template <typename Self>
-  static auto FindVmaImpl(Self& self, Addr a) -> decltype(self.vmas_.data());
-
   TouchStats FaultIn(Vma& vma, std::size_t page_idx, bool write, SimTimeUs now);
   void MakeResident(Vma& vma, std::size_t page_idx, bool via_thp);
   void MakeNonResident(Vma& vma, std::size_t page_idx);
@@ -299,13 +321,17 @@ class AddressSpace {
   AccessTap* tap_ = nullptr;
   std::vector<Vma> vmas_;
   std::uint64_t layout_gen_ = 0;
-  // Last-hit vmacache: TouchPage/MkOld/IsYoung streams resolve the same VMA
-  // over and over, so remember the previous answer. Stored as an index (a
-  // pointer would dangle across vmas_ reallocation) and validated against
-  // layout_gen_, so Map/Unmap invalidate it for free. Mutable because the
-  // const FindVma overload warms it too — it is pure lookup memoization.
-  mutable std::size_t vma_cache_idx_ = 0;
-  mutable std::uint64_t vma_cache_gen_ = ~std::uint64_t{0};
+  // Interval index over the sorted vmas_: the VMAs' start/end addresses as
+  // compact parallel arrays, rebuilt on every Map/Unmap (layout changes are
+  // rare; lookups are the hot path). FindVma binary-searches vma_ends_ —
+  // one cache line covers eight VMAs, versus striding across the fat Vma
+  // objects — and the hit is confirmed against vma_starts_. This replaced
+  // the last-hit vmacache and its generation-validation machinery: the
+  // index is rebuilt at the only points that used to invalidate the cache,
+  // so there is no staleness to defend against.
+  std::vector<Addr> vma_starts_;
+  std::vector<Addr> vma_ends_;
+  void RebuildVmaIndex();
   // Tier balancer / demotion-cascade CLOCK cursors, one per source tier so
   // the fast-tier balancer and the middle-tier kswapd sweeps do not reset
   // each other's position (resumes where the last sweep stopped).

@@ -1,5 +1,8 @@
 #include "sim/reclaim.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/address_space.hpp"
 #include "sim/machine.hpp"
 
@@ -10,39 +13,71 @@ std::uint64_t Reclaimer::Reclaim(std::uint64_t target_pages,
   const auto& spaces = machine_->spaces();
   if (spaces.empty()) return 0;
   std::uint64_t evicted = 0;
+  std::uint64_t budget = scan_budget;
 
-  for (std::uint64_t scanned = 0;
-       scanned < scan_budget && evicted < target_pages; ++scanned) {
+  while (budget > 0 && evicted < target_pages) {
     if (space_cursor_ >= spaces.size()) space_cursor_ = 0;
     AddressSpace* space = spaces[space_cursor_];
-    auto& vmas = space->vmas();
-    if (vmas.empty() || vma_cursor_ >= vmas.size()) {
+    if (space->vmas().empty() || vma_cursor_ >= space->vmas().size()) {
       vma_cursor_ = 0;
       page_cursor_ = 0;
       ++space_cursor_;
-      if (vmas.empty()) continue;
+      if (space->vmas().empty()) {
+        --budget;
+        continue;
+      }
       if (space_cursor_ >= spaces.size()) space_cursor_ = 0;
       space = spaces[space_cursor_];
-      if (space->vmas().empty()) continue;
+      if (space->vmas().empty()) {
+        --budget;
+        continue;
+      }
     }
     Vma& vma = space->vmas()[vma_cursor_];
     if (page_cursor_ >= vma.page_count()) {
       page_cursor_ = 0;
       ++vma_cursor_;
+      --budget;
+      continue;
+    }
+    // Word-level skip: only present, non-huge pages are reclaim candidates,
+    // so a whole word with none of them is charged against the scan budget
+    // (one unit per page, exactly what the per-page loop paid) in a single
+    // operation. A cold sweep over absent or huge-mapped memory costs two
+    // word loads per 64 pages.
+    const std::size_t w = page_cursor_ >> 6;
+    const std::size_t word_end = std::min(vma.page_count(), (w + 1) << 6);
+    const std::uint64_t cand =
+        (vma.plane(PageBit::kPresent)[w] & ~vma.plane(PageBit::kHuge)[w]) &
+        (~std::uint64_t{0} << (page_cursor_ & 63));
+    if (cand == 0) {
+      const std::uint64_t charge =
+          std::min<std::uint64_t>(word_end - page_cursor_, budget);
+      page_cursor_ += charge;
+      budget -= charge;
+      continue;
+    }
+    const std::size_t next =
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(cand));
+    if (next > page_cursor_) {
+      const std::uint64_t charge =
+          std::min<std::uint64_t>(next - page_cursor_, budget);
+      page_cursor_ += charge;
+      budget -= charge;
       continue;
     }
     const std::size_t idx = page_cursor_++;
-    Page& pg = vma.PageAt(vma.AddrOfIndex(idx));
-    if (!pg.Present() || pg.Huge()) continue;
+    --budget;
     // Tiered kswapd evicts only from the (bottom) tier it was pointed at;
     // pages in upper tiers leave via demotion instead. -1 = any (untiered).
     if (machine_->reclaim_tier_filter() >= 0 &&
-        pg.tier != machine_->reclaim_tier_filter()) {
+        static_cast<int>(vma.Meta(idx).tier) !=
+            machine_->reclaim_tier_filter()) {
       continue;
     }
 
     const Addr addr = vma.AddrOfIndex(idx);
-    if (pg.Deactivated()) {
+    if (vma.TestBit(PageBit::kDeactivated, idx)) {
       // DAMOS COLD regions go first, no second chance.
       if (space->EvictPage(vma, idx)) ++evicted;
       continue;
@@ -50,13 +85,13 @@ std::uint64_t Reclaimer::Reclaim(std::uint64_t target_pages,
     if (space->IsYoung(addr)) {
       // Second chance: clear the accessed state and move on (CLOCK).
       space->MkOld(addr, now);
-      pg.reclaim_gen = 0;
+      vma.Meta(idx).reclaim_gen = 0;
       continue;
     }
-    if (pg.reclaim_gen < 1) {
+    if (vma.Meta(idx).reclaim_gen < 1) {
       // Inactive-list probation: evict only on the next encounter if still
       // untouched (two-list behaviour).
-      ++pg.reclaim_gen;
+      ++vma.Meta(idx).reclaim_gen;
       continue;
     }
     if (space->EvictPage(vma, idx)) ++evicted;

@@ -290,7 +290,7 @@ E2eRun RunPrclUnderFaults(FaultPlane* plane) {
     run.swapped += space.swapped_pages();
     for (const sim::Vma& vma : space.vmas()) {
       for (std::size_t i = 0; i < vma.page_count(); ++i) {
-        const sim::Page& pg = vma.PageAt(vma.AddrOfIndex(i));
+        const auto pg = vma.PageAt(vma.AddrOfIndex(i));
         if (pg.Present() && pg.Swapped()) run.page_state_consistent = false;
       }
     }

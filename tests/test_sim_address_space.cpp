@@ -244,23 +244,24 @@ TEST_F(AddressSpaceTest, MaintainLogsReportsDroppedEntries) {
   EXPECT_EQ(space_.MaintainLogs(21 * kUsPerSec), 0u);
 }
 
-// The vmacache memoizes the last FindVma hit keyed on layout_generation;
-// these tests drive the invalidation edges (Map/Unmap between lookups).
+// FindVma resolves through the interval index (sorted start/end arrays
+// rebuilt on Map/Unmap); these tests drive the rebuild edges — the same
+// layout changes that used to invalidate the last-hit vmacache.
 
-TEST_F(AddressSpaceTest, VmacacheInvalidatedByUnmap) {
+TEST_F(AddressSpaceTest, VmaIndexRebuiltByUnmap) {
   space_.Map(0x10000, 4 * kPageSize, "a");
-  space_.TouchPage(0x10000, false, 0);  // warms the cache on "a"
+  space_.TouchPage(0x10000, false, 0);  // resolves "a" through the index
   ASSERT_NE(space_.FindVma(0x10000), nullptr);
   space_.UnmapVma(0x10000);
   EXPECT_EQ(space_.FindVma(0x10000), nullptr);
   EXPECT_FALSE(space_.IsYoung(0x10000));
 }
 
-TEST_F(AddressSpaceTest, VmacacheInvalidatedByMapBetweenTouches) {
+TEST_F(AddressSpaceTest, VmaIndexRebuiltByMapBetweenTouches) {
   space_.Map(0x100000, 4 * kPageSize, "b");
-  space_.TouchPage(0x100000, false, 0);  // cache points at "b"
-  // Mapping "a" below "b" shifts "b"'s index in the sorted vector; a stale
-  // cached index would now resolve to the wrong VMA.
+  space_.TouchPage(0x100000, false, 0);  // resolves "b" through the index
+  // Mapping "a" below "b" shifts "b"'s position in the sorted arrays; a
+  // stale index would now resolve to the wrong VMA.
   ASSERT_NE(space_.Map(0x10000, 4 * kPageSize, "a"), nullptr);
   const Vma* a = space_.FindVma(0x10000);
   ASSERT_NE(a, nullptr);
@@ -275,9 +276,9 @@ TEST_F(AddressSpaceTest, VmacacheInvalidatedByMapBetweenTouches) {
   EXPECT_FALSE(space_.IsYoung(0x100000));
 }
 
-TEST_F(AddressSpaceTest, VmacacheRepeatedLookupsStayCorrect) {
+TEST_F(AddressSpaceTest, VmaIndexRepeatedLookupsStayCorrect) {
   // Alternating lookups between two VMAs and a hole: every answer must
-  // match the cold-lookup truth regardless of what the cache held.
+  // come back right however the previous lookups landed.
   space_.Map(0x10000, 4 * kPageSize, "a");
   space_.Map(0x100000, 4 * kPageSize, "b");
   for (int i = 0; i < 16; ++i) {
@@ -328,7 +329,7 @@ TEST_P(AddressSpaceInvariantTest, CountersMatchPageState) {
   const Vma* vma = space.FindVma(base);
   ASSERT_NE(vma, nullptr);
   for (std::size_t i = 0; i < vma->page_count(); ++i) {
-    const Page& pg = vma->PageAt(vma->AddrOfIndex(i));
+    const auto pg = vma->PageAt(vma->AddrOfIndex(i));
     resident += pg.Present() ? 1 : 0;
     swapped += pg.Swapped() ? 1 : 0;
     bloat += pg.HugeBloat() ? 1 : 0;
